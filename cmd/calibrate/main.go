@@ -1,0 +1,94 @@
+// Command calibrate runs the evaluation workloads under every scheme and
+// prints the raw metrics side by side. It exists to sanity-check workload
+// and prefetcher parameters against the shapes the paper reports; the
+// polished per-figure output lives in cmd/experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"prophet/internal/graphs"
+	"prophet/internal/mem"
+	"prophet/internal/pipeline"
+	"prophet/internal/sim"
+	"prophet/internal/stats"
+	"prophet/internal/triage"
+	"prophet/internal/triangel"
+	"prophet/internal/workloads"
+)
+
+type namedFactory struct {
+	name    string
+	factory pipeline.SourceFactory
+}
+
+func main() {
+	records := flag.Uint64("records", workloads.DefaultRecords, "memory records per run")
+	only := flag.String("only", "", "run a single workload by name")
+	graphsToo := flag.Bool("graphs", false, "include CRONO graph workloads")
+	flag.Parse()
+
+	var list []namedFactory
+	for _, w := range workloads.SPEC() {
+		w := w
+		list = append(list, namedFactory{w.Name, func() mem.Source { return w.Source(*records) }})
+	}
+	if *graphsToo {
+		for _, g := range graphs.CRONO() {
+			g := g
+			list = append(list, namedFactory{g.Name, func() mem.Source { return g.Source(*records) }})
+		}
+	}
+
+	cfg := pipeline.Default()
+	var spRPG2, spTriage, spTriangel, spProphet []float64
+	fmt.Printf("%-18s %8s | %22s %22s %22s %28s\n",
+		"workload", "baseIPC", "rpg2(spd,tr)", "triage(spd,tr,acc)", "triangel(spd,tr,acc,w)", "prophet(spd,tr,acc,w,cov)")
+	for _, w := range list {
+		if *only != "" && w.name != *only {
+			continue
+		}
+		start := time.Now()
+		base := pipeline.RunBaseline(cfg.Sim, w.factory())
+
+		rp := pipeline.RunRPG2(cfg.Sim, w.factory, *records/2)
+
+		tg := triage.Default()
+		tgStats := pipeline.RunTriage(cfg.Sim, tg, w.factory())
+
+		tr := triangel.Default()
+		trStats := pipeline.RunTriangel(cfg.Sim, tr, w.factory())
+
+		prStats, pr := pipeline.RunProphetDirect(cfg, w.factory)
+		res := pr.Analyze()
+
+		sp := func(s sim.Stats) float64 { return stats.Speedup(s.IPC(), base.IPC()) }
+		tf := func(s sim.Stats) float64 { return stats.NormalizedTraffic(s.DRAMTraffic(), base.DRAMTraffic()) }
+		cov := func(s sim.Stats) float64 { return stats.Coverage(base.L2DemandMisses, s.L2DemandMisses) }
+
+		spRPG2 = append(spRPG2, sp(rp.Stats))
+		spTriage = append(spTriage, sp(tgStats))
+		spTriangel = append(spTriangel, sp(trStats))
+		spProphet = append(spProphet, sp(prStats))
+
+		fmt.Printf("%-18s %8.3f | %6.3f %5.2f (k=%d,d=%d) | %6.3f %5.2f %4.2f | %6.3f %5.2f %4.2f w%d | %6.3f %5.2f %4.2f w%d cov%4.2f/%4.2f | hints=%d ways=%d dis=%v %.1fs\n",
+			w.name, base.IPC(),
+			sp(rp.Stats), tf(rp.Stats), rp.Kernels, rp.Distance,
+			sp(tgStats), tf(tgStats), tgStats.TPAccuracy(),
+			sp(trStats), tf(trStats), trStats.TPAccuracy(), trStats.MetaWays,
+			sp(prStats), tf(prStats), prStats.TPAccuracy(), prStats.MetaWays,
+			cov(prStats), cov(trStats),
+			len(res.Hints.PC), res.Hints.MetaWays, res.Hints.DisableTP,
+			time.Since(start).Seconds())
+		fmt.Printf("    baseMiss=%dk | tg ins=%dk lkup=%dk hit=%dk iss=%dk | tr ins=%dk lkup=%dk hit=%dk iss=%dk | pr ins=%dk lkup=%dk hit=%dk iss=%dk useless tg=%dk tr=%dk pr=%dk\n",
+			base.L2DemandMisses/1000,
+			tgStats.TableStats.Insertions/1000, tgStats.TableStats.Lookups/1000, tgStats.TableStats.Hits/1000, tgStats.TPIssued/1000,
+			trStats.TableStats.Insertions/1000, trStats.TableStats.Lookups/1000, trStats.TableStats.Hits/1000, trStats.TPIssued/1000,
+			prStats.TableStats.Insertions/1000, prStats.TableStats.Lookups/1000, prStats.TableStats.Hits/1000, prStats.TPIssued/1000,
+			tgStats.TPUseless/1000, trStats.TPUseless/1000, prStats.TPUseless/1000)
+	}
+	fmt.Printf("\nGEOMEAN  rpg2=%.4f triage=%.4f triangel=%.4f prophet=%.4f\n",
+		stats.Geomean(spRPG2), stats.Geomean(spTriage), stats.Geomean(spTriangel), stats.Geomean(spProphet))
+}

@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                 # run the full suite in paper order
+//	experiments -list           # list experiment IDs
+//	experiments -run F10,F19    # run selected experiments
+//	experiments -quick          # reduced workload sets and trace lengths
+//	experiments -records N      # override trace length per run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"prophet/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	quick := flag.Bool("quick", false, "reduced workload sets and trace lengths")
+	records := flag.Uint64("records", 0, "override memory records per run (0 = workload default)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-5s %s\n", e.ID, e.Remark)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Records: *records}
+	var ids []string
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	} else {
+		for _, e := range experiments.Registry() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

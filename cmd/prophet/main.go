@@ -1,0 +1,133 @@
+// Command prophet drives the profile-guided pipeline of Figure 5 end to
+// end: profile one or more inputs with the simplified temporal prefetcher
+// (Step 1), merge counters across inputs (Step 3), generate hints (Step 2),
+// and run the optimized binary, reporting the speedup over the
+// no-temporal-prefetching baseline and over the Triangel runtime scheme.
+//
+// Usage:
+//
+//	prophet -inputs gcc_166,gcc_expr -eval gcc_200
+//	prophet -inputs mcf            # profile and evaluate the same input
+//	prophet -inputs omnetpp -el-acc 0.25 -priority-bits 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"prophet/internal/analysis"
+	"prophet/internal/graphs"
+	"prophet/internal/mem"
+	"prophet/internal/pipeline"
+	"prophet/internal/stats"
+	"prophet/internal/triangel"
+	"prophet/internal/workloads"
+)
+
+func main() {
+	inputs := flag.String("inputs", "", "comma-separated workloads to profile and learn, in order")
+	eval := flag.String("eval", "", "workloads to evaluate (default: the learned inputs)")
+	records := flag.Uint64("records", 0, "memory records per run (0 = workload default)")
+	elAcc := flag.Float64("el-acc", 0.15, "EL_ACC insertion threshold (Equation 1)")
+	prioBits := flag.Int("priority-bits", 2, "replacement priority bits n (Equation 2)")
+	mvbCand := flag.Int("mvb-candidates", 1, "Multi-path Victim Buffer candidates per lookup")
+	learnL := flag.Int("learn-l", 4, "Equation 4 designer parameter L")
+	flag.Parse()
+
+	if *inputs == "" {
+		fmt.Fprintln(os.Stderr, "need -inputs (e.g. -inputs gcc_166,gcc_expr)")
+		os.Exit(1)
+	}
+
+	cfg := pipeline.Default()
+	cfg.Analysis.ELAcc = *elAcc
+	cfg.Analysis.PriorityBits = *prioBits
+	cfg.Prophet.MVBCandidates = *mvbCand
+	cfg.L = *learnL
+
+	p := pipeline.NewProphet(cfg)
+	for _, name := range strings.Split(*inputs, ",") {
+		name = strings.TrimSpace(name)
+		factory, err := resolve(name, *records)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("Step 1+3: profiling %s and merging counters (loop %d)\n", name, p.ProfileState().Loops+1)
+		p.ProfileAndLearn(factory())
+	}
+
+	res := p.Analyze()
+	fmt.Printf("Step 2: analysis produced %d PC hints, metaWays=%d, disableTP=%v (%.1fms)\n",
+		len(res.Hints.PC), res.Hints.MetaWays, res.Hints.DisableTP,
+		float64(res.Elapsed.Microseconds())/1000)
+	printHints(res)
+
+	evalList := *eval
+	if evalList == "" {
+		evalList = *inputs
+	}
+	fmt.Printf("\n%-16s %10s %10s %10s %12s %12s\n", "workload", "baseIPC", "triangel", "prophet", "vs baseline", "vs triangel")
+	for _, name := range strings.Split(evalList, ",") {
+		name = strings.TrimSpace(name)
+		factory, err := resolve(name, *records)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		base := pipeline.RunBaseline(cfg.Sim, factory())
+		tr := pipeline.RunTriangel(cfg.Sim, triangel.Default(), factory())
+		pr := p.Run(factory())
+		fmt.Printf("%-16s %10.4f %10.4f %10.4f %11.2f%% %11.2f%%\n",
+			name, base.IPC(), tr.IPC(), pr.IPC(),
+			(stats.Speedup(pr.IPC(), base.IPC())-1)*100,
+			(stats.Speedup(pr.IPC(), tr.IPC())-1)*100)
+	}
+}
+
+// printHints lists the injected PC hints, heaviest miss contributors first.
+func printHints(res analysis.Result) {
+	type row struct {
+		pc     mem.Addr
+		weight uint64
+	}
+	rows := make([]row, 0, len(res.Hints.PC))
+	for pc := range res.Hints.PC {
+		rows = append(rows, row{pc, res.Weights[pc]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].weight != rows[j].weight {
+			return rows[i].weight > rows[j].weight
+		}
+		return rows[i].pc < rows[j].pc
+	})
+	max := 12
+	if len(rows) < max {
+		max = len(rows)
+	}
+	for _, r := range rows[:max] {
+		h := res.Hints.PC[r.pc]
+		fmt.Printf("  hint pc=%#x insert=%v priority=%d (misses %d)\n", uint64(r.pc), h.Insert, h.Priority, r.weight)
+	}
+	if len(rows) > max {
+		fmt.Printf("  ... and %d more hints\n", len(rows)-max)
+	}
+}
+
+func resolve(name string, records uint64) (pipeline.SourceFactory, error) {
+	if w, ok := workloads.Get(name); ok {
+		return func() mem.Source { return w.Source(records) }, nil
+	}
+	if g, err := graphs.Parse(name); err == nil {
+		return func() mem.Source { return g.Source(records) }, nil
+	}
+	var known []string
+	for _, w := range workloads.All() {
+		known = append(known, w.Name)
+	}
+	sort.Strings(known)
+	return nil, fmt.Errorf("unknown workload %q; catalog: %s", name, strings.Join(known, ", "))
+}

@@ -1,0 +1,98 @@
+// Command simulate runs one workload under one prefetching scheme and
+// prints the raw statistics — the low-level entry point for exploring the
+// simulator outside the figure harness.
+//
+// Usage:
+//
+//	simulate -workload mcf -scheme prophet
+//	simulate -workload bfs_100000_16 -scheme triangel -records 100000
+//	simulate -workload omnetpp -scheme baseline -channels 2 -l1pf ipcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prophet/internal/graphs"
+	"prophet/internal/mem"
+	"prophet/internal/pipeline"
+	"prophet/internal/sim"
+	"prophet/internal/triage"
+	"prophet/internal/triangel"
+	"prophet/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "mcf", "workload name (SPEC-like or CRONO algorithm_nodes_param)")
+	scheme := flag.String("scheme", "prophet", "baseline | rpg2 | triage | triangel | prophet")
+	records := flag.Uint64("records", 0, "memory records (0 = workload default)")
+	channels := flag.Int("channels", 1, "DRAM channels")
+	l1pf := flag.String("l1pf", "stride", "L1 prefetcher: stride | ipcp | none")
+	flag.Parse()
+
+	factory, err := resolve(*workload, *records)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := pipeline.Default()
+	cfg.Sim.DRAM.Channels = *channels
+	switch *l1pf {
+	case "stride":
+		cfg.Sim.L1PF = sim.L1Stride
+	case "ipcp":
+		cfg.Sim.L1PF = sim.L1IPCP
+	case "none":
+		cfg.Sim.L1PF = sim.L1None
+	default:
+		fmt.Fprintf(os.Stderr, "unknown l1pf %q\n", *l1pf)
+		os.Exit(1)
+	}
+
+	var st sim.Stats
+	switch *scheme {
+	case "baseline":
+		st = pipeline.RunBaseline(cfg.Sim, factory())
+	case "rpg2":
+		res := pipeline.RunRPG2(cfg.Sim, factory, 0)
+		st = res.Stats
+		fmt.Printf("rpg2: kernels=%d distance=%d\n", res.Kernels, res.Distance)
+	case "triage":
+		st = pipeline.RunTriage(cfg.Sim, triage.Default(), factory())
+	case "triangel":
+		st = pipeline.RunTriangel(cfg.Sim, triangel.Default(), factory())
+	case "prophet":
+		var p *pipeline.Prophet
+		st, p = pipeline.RunProphetDirect(cfg, factory)
+		res := p.Analyze()
+		fmt.Printf("prophet: hints=%d metaWays=%d disableTP=%v\n",
+			len(res.Hints.PC), res.Hints.MetaWays, res.Hints.DisableTP)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:         %s\n", *workload)
+	fmt.Printf("instructions:     %d\n", st.Core.Instructions)
+	fmt.Printf("cycles:           %d\n", st.Core.Cycles)
+	fmt.Printf("IPC:              %.4f\n", st.IPC())
+	fmt.Printf("L1 hits/misses:   %d / %d\n", st.L1.Hits, st.L1.Misses)
+	fmt.Printf("L2 demand misses: %d\n", st.L2DemandMisses)
+	fmt.Printf("DRAM reads/writes: %d / %d\n", st.DRAM.Reads, st.DRAM.Writes)
+	fmt.Printf("prefetches issued: %d (useful %d, accuracy %.3f)\n", st.TPIssued, st.TPUseful, st.TPAccuracy())
+	fmt.Printf("metadata ways:    %d\n", st.MetaWays)
+}
+
+// resolve maps a workload name to a trace factory, trying the SPEC catalog
+// first and the CRONO name grammar second.
+func resolve(name string, records uint64) (pipeline.SourceFactory, error) {
+	if w, ok := workloads.Get(name); ok {
+		return func() mem.Source { return w.Source(records) }, nil
+	}
+	if g, err := graphs.Parse(name); err == nil {
+		return func() mem.Source { return g.Source(records) }, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q (try: mcf, omnetpp, gcc_166, bfs_100000_16, ...)", name)
+}

@@ -1,0 +1,98 @@
+// Command tracegen exports a workload's memory trace to a file in the
+// repository's binary trace format (see internal/mem), for inspection or
+// byte-identical replay.
+//
+// Usage:
+//
+//	tracegen -workload omnetpp -records 100000 -o omnetpp.trc
+//	tracegen -workload bfs_100000_16 -o bfs.trc
+//	tracegen -workload mcf -stats            # print a pattern summary only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prophet/internal/graphs"
+	"prophet/internal/mem"
+	"prophet/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "omnetpp", "workload name")
+	records := flag.Uint64("records", 0, "memory records (0 = workload default)")
+	out := flag.String("o", "", "output trace file (required unless -stats)")
+	statsOnly := flag.Bool("stats", false, "print trace statistics instead of writing a file")
+	flag.Parse()
+
+	var src mem.Source
+	if w, ok := workloads.Get(*workload); ok {
+		src = w.Source(*records)
+	} else if g, err := graphs.Parse(*workload); err == nil {
+		src = g.Source(*records)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+
+	if *statsOnly {
+		printStats(src)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "need -o <file> (or -stats)")
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	n, err := mem.WriteTrace(f, src)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d records to %s\n", n, *out)
+}
+
+func printStats(src mem.Source) {
+	var records, instructions, loads, stores, deps uint64
+	pcs := map[mem.Addr]uint64{}
+	lines := map[mem.Line]struct{}{}
+	for {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		records++
+		instructions += a.Instructions()
+		if a.Kind == mem.Store {
+			stores++
+		} else {
+			loads++
+		}
+		if a.Dep != 0 {
+			deps++
+		}
+		pcs[a.PC]++
+		lines[a.Line()] = struct{}{}
+	}
+	fmt.Printf("records:       %d\n", records)
+	fmt.Printf("instructions:  %d\n", instructions)
+	fmt.Printf("loads/stores:  %d / %d\n", loads, stores)
+	fmt.Printf("dependent:     %d (%.1f%%)\n", deps, pct(deps, records))
+	fmt.Printf("distinct PCs:  %d\n", len(pcs))
+	fmt.Printf("distinct lines: %d (%.1f MB footprint)\n", len(lines), float64(len(lines))*64/1024/1024)
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,25 @@
+// Ablation: the Figure 19 feature breakdown for a single workload, driven
+// through the experiment harness — shows which of Prophet's mechanisms
+// (replacement, insertion, MVB, resizing) pays off where.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prophet"
+)
+
+func main() {
+	out, err := prophet.Experiment("F19", true /* quick */)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+
+	fmt.Println("Interpretation guide (paper Section 5.9):")
+	fmt.Println("  +Repla  — accuracy-prioritized replacement: biggest on omnetpp/mcf")
+	fmt.Println("  +Insert — EL_ACC filtering of patternless PCs: biggest on mcf")
+	fmt.Println("  +MVB    — multi-path victim buffer: biggest on soplex")
+	fmt.Println("  +Resize — CSR-driven table sizing: biggest on small-footprint workloads")
+}

@@ -1,0 +1,63 @@
+// Adaptive: the Figure 13 scenario as an API walkthrough. A single gcc
+// binary is profiled on a sequence of inputs; after each learning loop the
+// same optimized binary is re-evaluated on every input, showing one binary
+// converging to per-input "Direct" performance — including on an input
+// (gcc_200) it never profiled, because gcc_expr shares its Load E behaviour.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prophet"
+)
+
+func main() {
+	inputs := []string{"166", "200", "expr", "typeck", "expr2"}
+	learnOrder := []string{"166", "expr", "typeck"}
+	const records = 90_000
+
+	resolve := func(in string) prophet.Workload {
+		w, err := prophet.Find("gcc_" + in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w.WithRecords(records)
+	}
+
+	p := prophet.NewPipeline(prophet.DefaultOptions())
+
+	fmt.Printf("%-22s", "stage \\ input")
+	for _, in := range inputs {
+		fmt.Printf(" %9s", in)
+	}
+	fmt.Println(" (Prophet IPC, one shared binary)")
+
+	evalAll := func(stage string, bin prophet.Binary) {
+		fmt.Printf("%-22s", stage)
+		for _, in := range inputs {
+			r := p.RunBinary(bin, resolve(in))
+			fmt.Printf(" %9.4f", r.IPC)
+		}
+		fmt.Println()
+	}
+
+	for _, in := range learnOrder {
+		p.ProfileInput(resolve(in))
+		bin := p.Optimize()
+		evalAll(fmt.Sprintf("after learning %s", in), bin)
+	}
+
+	// The learning goal: each input profiled directly for itself.
+	fmt.Printf("%-22s", "Direct (per-input)")
+	for _, in := range inputs {
+		direct := prophet.NewPipeline(prophet.DefaultOptions())
+		direct.ProfileInput(resolve(in))
+		r := direct.RunBinary(direct.Optimize(), resolve(in))
+		fmt.Printf(" %9.4f", r.IPC)
+	}
+	fmt.Println()
+
+	fmt.Println("\nNote how gcc_200 improves after learning gcc_expr without ever being profiled itself:")
+	fmt.Println("the two inputs drive the binary's shared 'Load E' instructions the same way (Figure 7).")
+}

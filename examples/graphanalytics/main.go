@@ -1,0 +1,43 @@
+// Graphanalytics: evaluate the prefetching schemes on CRONO-style graph
+// workloads (Figure 15's domain), including a custom graph size outside the
+// paper's list — any algorithm_nodes_param name parses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prophet"
+)
+
+func main() {
+	names := []string{
+		"sssp_100000_5",       // from Figure 15
+		"pagerank_100000_100", // from Figure 15
+		"bfs_50000_12",        // custom size: same grammar, new workload
+	}
+
+	fmt.Printf("%-22s %10s %10s %10s\n", "workload", "rpg2", "triangel", "prophet")
+	for _, name := range names {
+		w, err := prophet.Find(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w = w.WithRecords(150_000)
+		rp, err := prophet.Evaluate(w, prophet.RPG2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := prophet.Evaluate(w, prophet.Triangel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr, err := prophet.Evaluate(w, prophet.Prophet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %9.3fx %9.3fx %9.3fx\n", name, rp.Speedup, tr.Speedup, pr.Speedup)
+	}
+	fmt.Println("\nGraph gathers expose the multi-successor patterns (Figure 8) that make")
+	fmt.Println("temporal prefetching hard; RPG2 thrives on the strided index kernels instead.")
+}

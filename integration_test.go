@@ -1,0 +1,208 @@
+// Integration tests: cross-module invariants that tie the paper's mechanisms
+// together end to end — profile-guided filtering reducing table pollution,
+// CSR resizing reaching the LLC partition, the victim buffer recovering
+// multi-path coverage, and learning transferring hints across inputs.
+package prophet_test
+
+import (
+	"testing"
+
+	"prophet/internal/core"
+	"prophet/internal/mem"
+	"prophet/internal/pipeline"
+	"prophet/internal/sim"
+	"prophet/internal/workloads"
+)
+
+// noisyWorkload builds a workload dominated by one clean temporal stream and
+// one random stream — the minimal insertion-policy scenario.
+func noisyWorkload(records uint64) workloads.Workload {
+	return workloads.Workload{Name: "it-noisy", Spec: workloads.Spec{
+		Name: "it-noisy",
+		Seed: 77,
+		Patterns: []workloads.PatternSpec{
+			{Kind: workloads.Temporal, Weight: 0.5, SeqLines: 4000, Gap: 3, PCSeed: 21},
+			{Kind: workloads.RandomAccess, Weight: 0.5, Gap: 3, PCSeed: 22},
+		},
+		Records: records,
+	}}
+}
+
+// TestInsertionFilterReducesTablePollution verifies Equation 1 end to end:
+// with the profile-guided insertion policy on, the metadata table takes far
+// fewer insertions on a half-random workload, while coverage of the clean
+// stream survives.
+func TestInsertionFilterReducesTablePollution(t *testing.T) {
+	w := noisyWorkload(60_000)
+	cfg := pipeline.Default()
+	f := func() mem.Source { return w.Source(0) }
+	p := pipeline.NewProphet(cfg)
+	p.ProfileAndLearn(f())
+
+	unfiltered := p.RunWithFeatures(core.Features{Replacement: true}, f())
+	filtered := p.RunWithFeatures(core.Features{Replacement: true, Insertion: true}, f())
+
+	if filtered.TableStats.Insertions >= unfiltered.TableStats.Insertions {
+		t.Fatalf("insertion filter did not reduce insertions: %d vs %d",
+			filtered.TableStats.Insertions, unfiltered.TableStats.Insertions)
+	}
+	// The filter must cut insertions dramatically (the random stream is
+	// half the trace) without destroying usefulness.
+	if filtered.TableStats.Insertions > unfiltered.TableStats.Insertions*3/4 {
+		t.Fatalf("filter too weak: %d vs %d insertions",
+			filtered.TableStats.Insertions, unfiltered.TableStats.Insertions)
+	}
+	if filtered.TPUseful == 0 {
+		t.Fatal("filtering killed all useful prefetches")
+	}
+}
+
+// TestResizingReachesLLCPartition verifies Equation 3 end to end: a
+// small-footprint workload yields a small CSR way count, and the simulated
+// run leaves more LLC to demand than the fixed-table configuration.
+func TestResizingReachesLLCPartition(t *testing.T) {
+	// 14000 entries round to 16384 — above the half-way disable cutoff
+	// (12288) but far below the 8-way maximum.
+	w := workloads.Workload{Name: "it-small", Spec: workloads.Spec{
+		Name: "it-small",
+		Seed: 88,
+		Patterns: []workloads.PatternSpec{
+			{Kind: workloads.Temporal, Weight: 1, SeqLines: 14000, Gap: 3, PCSeed: 31},
+		},
+		Records: 60_000,
+	}}
+	cfg := pipeline.Default()
+	f := func() mem.Source { return w.Source(0) }
+	p := pipeline.NewProphet(cfg)
+	p.ProfileAndLearn(f())
+	res := p.Analyze()
+	if res.Hints.DisableTP {
+		t.Fatal("small temporal workload should not disable TP")
+	}
+	if res.Hints.MetaWays >= 8 {
+		t.Fatalf("14000-entry footprint produced %d ways; Equation 3 should shrink it", res.Hints.MetaWays)
+	}
+	st := p.RunWithFeatures(core.AllFeatures(), f())
+	if st.MetaWays != res.Hints.MetaWays {
+		t.Fatalf("run used %d ways, CSR said %d", st.MetaWays, res.Hints.MetaWays)
+	}
+}
+
+// TestMVBRecoversMultiPathCoverage verifies Section 4.5 end to end: on a
+// multi-path workload, enabling the victim buffer raises coverage.
+func TestMVBRecoversMultiPathCoverage(t *testing.T) {
+	// The sequence must exceed the L2 so there are misses to cover, and
+	// repeat several times within the trace.
+	w := workloads.Workload{Name: "it-mp", Spec: workloads.Spec{
+		Name: "it-mp",
+		Seed: 99,
+		Patterns: []workloads.PatternSpec{
+			{Kind: workloads.MultiPath, Weight: 1, SeqLines: 12000, Paths: 2, Gap: 3, PCSeed: 41},
+		},
+		Records: 100_000,
+	}}
+	cfg := pipeline.Default()
+	f := func() mem.Source { return w.Source(0) }
+	base := pipeline.RunBaseline(cfg.Sim, f())
+	p := pipeline.NewProphet(cfg)
+	p.ProfileAndLearn(f())
+
+	without := p.RunWithFeatures(core.Features{Replacement: true, Insertion: true}, f())
+	with := p.RunWithFeatures(core.Features{Replacement: true, Insertion: true, MVB: true}, f())
+
+	covWithout := float64(base.L2DemandMisses-without.L2DemandMisses) / float64(base.L2DemandMisses)
+	covWith := float64(base.L2DemandMisses-with.L2DemandMisses) / float64(base.L2DemandMisses)
+	if covWith <= covWithout {
+		t.Fatalf("MVB did not raise coverage: %.3f vs %.3f", covWith, covWithout)
+	}
+}
+
+// TestHintsTransferAcrossSharedPCs verifies the Figure 7 "Load A" case end
+// to end: hints learned on one gcc input apply to another input's shared
+// instructions without re-profiling.
+func TestHintsTransferAcrossSharedPCs(t *testing.T) {
+	a := workloads.GCC("166").Scaled(35)
+	b := workloads.GCC("g23").Scaled(35) // shares Load A PCs with 166
+	const records = 90_000
+	cfg := pipeline.Default()
+
+	p := pipeline.NewProphet(cfg)
+	p.ProfileAndLearn(a.Source(records))
+
+	baseB := pipeline.RunBaseline(cfg.Sim, b.Source(records))
+	crossB := p.Run(b.Source(records))
+	if crossB.IPC() <= baseB.IPC() {
+		t.Fatalf("hints from gcc_166 gave no gain on gcc_g23: %.4f vs %.4f",
+			crossB.IPC(), baseB.IPC())
+	}
+}
+
+// TestDisableTPVerdictRunsCleanly verifies the Equation 3 disable path: a
+// workload with virtually no temporal content turns the prefetcher off and
+// matches baseline behaviour.
+func TestDisableTPVerdictRunsCleanly(t *testing.T) {
+	w := workloads.Workload{Name: "it-rand", Spec: workloads.Spec{
+		Name: "it-rand",
+		Seed: 111,
+		Patterns: []workloads.PatternSpec{
+			{Kind: workloads.StreamScan, Weight: 1, SeqLines: 512, Gap: 3, PCSeed: 51},
+		},
+		Records: 30_000,
+	}}
+	cfg := pipeline.Default()
+	f := func() mem.Source { return w.Source(0) }
+	p := pipeline.NewProphet(cfg)
+	p.ProfileAndLearn(f())
+	res := p.Analyze()
+	st := p.Run(f())
+	if res.Hints.DisableTP && st.TPIssued != 0 {
+		t.Fatalf("TP disabled by CSR but %d prefetches issued", st.TPIssued)
+	}
+	if res.Hints.DisableTP && st.MetaWays != 0 {
+		t.Fatalf("TP disabled but %d metadata ways allocated", st.MetaWays)
+	}
+}
+
+// TestSimplifiedProfilingConfigIsUnbiased checks the Step 1 contract: the
+// profiling run uses degree 1 and a fixed maximum table regardless of what
+// the evaluation configuration says.
+func TestSimplifiedProfilingConfigIsUnbiased(t *testing.T) {
+	cfg := pipeline.Default()
+	cfg.Prophet.Degree = 4
+	p := pipeline.NewProphet(cfg)
+	w := noisyWorkload(20_000)
+	counters := p.Profile(w.Source(0))
+	if counters.Insertions == 0 {
+		t.Fatal("simplified profiling inserted nothing — filter must be off")
+	}
+}
+
+// TestSchemesShareIdenticalTraces pins the methodology: every scheme must
+// see the exact same access stream for a workload.
+func TestSchemesShareIdenticalTraces(t *testing.T) {
+	w := workloads.MCF()
+	a := mem.Collect(w.Source(2000), 0)
+	b := mem.Collect(w.Source(2000), 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("source factory not reproducible")
+		}
+	}
+}
+
+// TestFullSystemSmallFootprintNoTPOverhead: when the temporal prefetcher
+// has nothing to do (L1-resident working set), attaching Prophet must not
+// slow the machine down materially.
+func TestFullSystemSmallFootprintNoTPOverhead(t *testing.T) {
+	var recs []mem.Access
+	for i := 0; i < 30_000; i++ {
+		recs = append(recs, mem.Access{PC: 0x600, Addr: mem.Addr(0x5000000 + (i%256)*64), Kind: mem.Load, Gap: 2})
+	}
+	cfg := pipeline.Default()
+	base := pipeline.RunBaseline(cfg.Sim, mem.NewSliceSource(recs))
+	engine := core.New(core.DefaultConfig(), core.HintSet{MetaWays: 8}, nil)
+	withTP := sim.Run(cfg.Sim, engine, nil, nil, nil, mem.NewSliceSource(recs))
+	if float64(withTP.Core.Cycles) > float64(base.Core.Cycles)*1.05 {
+		t.Fatalf("idle TP cost %.1f%% cycles", 100*(float64(withTP.Core.Cycles)/float64(base.Core.Cycles)-1))
+	}
+}

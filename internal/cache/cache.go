@@ -1,0 +1,274 @@
+package cache
+
+import (
+	"fmt"
+
+	"prophet/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the cache in stats output ("L1D", "L2", "L3").
+	Name string
+	// SizeBytes is the total capacity in bytes.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// HitLatency is the access latency in cycles.
+	HitLatency uint64
+	// MSHRs is the number of outstanding-miss registers (consumed by the
+	// core/hierarchy model, recorded here for reporting).
+	MSHRs int
+	// Policy selects the replacement policy.
+	Policy Policy
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * mem.LineBytes) }
+
+// Validate reports configuration errors (non-power-of-two sets, zero sizes).
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets*c.Ways*mem.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache %s: size %d not divisible into %d ways of 64B lines", c.Name, c.SizeBytes, c.Ways)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// lineState is the per-way tag state.
+type lineState struct {
+	line     mem.Line
+	valid    bool
+	dirty    bool
+	prefetch bool     // filled by a prefetch and not yet referenced by demand
+	trigger  mem.Addr // PC whose prefetch filled the line (if prefetch)
+	ready    uint64   // cycle at which the fill completes
+}
+
+// Eviction describes a line displaced by Insert or Resize.
+type Eviction struct {
+	Line     mem.Line
+	Dirty    bool
+	Prefetch bool     // evicted while still unreferenced by demand
+	Trigger  mem.Addr // prefetch trigger PC, when Prefetch
+	Valid    bool     // false when no line was displaced
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64
+	Writebacks uint64
+}
+
+// Cache is one level of the hierarchy. The zero value is not usable; use New.
+//
+// The demand-visible portion of the cache may be narrowed with SetDemandWays
+// (used by the LLC when the temporal prefetcher's metadata table claims ways).
+type Cache struct {
+	cfg        Config
+	sets       [][]lineState
+	repl       []replacer
+	setMask    uint64
+	demandWays int
+	clock      uint64 // logical access counter for LRU ordering
+	stats      Stats
+}
+
+// New builds a cache from cfg. It panics on invalid configurations, which are
+// programmer errors (configs are static).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:        cfg,
+		sets:       make([][]lineState, sets),
+		repl:       make([]replacer, sets),
+		setMask:    uint64(sets - 1),
+		demandWays: cfg.Ways,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]lineState, cfg.Ways)
+		c.repl[i] = newReplacer(cfg.Policy, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// DemandWays returns the associativity currently visible to demand fills.
+func (c *Cache) DemandWays() int { return c.demandWays }
+
+func (c *Cache) setIndex(l mem.Line) int { return int(uint64(l) & c.setMask) }
+
+// Lookup probes for a line without changing replacement state.
+// It returns the fill-ready cycle for timeliness accounting.
+func (c *Cache) Lookup(l mem.Line) (ready uint64, hit bool) {
+	set := c.sets[c.setIndex(l)]
+	for w := 0; w < c.demandWays; w++ {
+		if set[w].valid && set[w].line == l {
+			return set[w].ready, true
+		}
+	}
+	return 0, false
+}
+
+// AccessResult reports what a demand access found.
+type AccessResult struct {
+	Hit bool
+	// Ready is the cycle the line's data is available (fills in flight
+	// make this later than the access cycle).
+	Ready uint64
+	// WasPrefetch is true when this demand access is the first touch of a
+	// prefetched line — i.e. the prefetch was useful.
+	WasPrefetch bool
+	// Trigger is the PC whose prefetch brought the line in (valid only
+	// when WasPrefetch).
+	Trigger mem.Addr
+}
+
+// Access performs a demand access at cycle now. On a hit it updates recency,
+// dirtiness and the prefetch-usefulness bookkeeping. On a miss the caller is
+// responsible for filling the line (via Insert) after fetching it from the
+// next level.
+func (c *Cache) Access(l mem.Line, now uint64, write bool) AccessResult {
+	c.clock++
+	si := c.setIndex(l)
+	set := c.sets[si]
+	for w := 0; w < c.demandWays; w++ {
+		st := &set[w]
+		if st.valid && st.line == l {
+			c.stats.Hits++
+			c.repl[si].touch(w, c.clock)
+			res := AccessResult{Hit: true, Ready: st.ready}
+			if st.prefetch {
+				res.WasPrefetch = true
+				res.Trigger = st.trigger
+				st.prefetch = false
+			}
+			if write {
+				st.dirty = true
+			}
+			return res
+		}
+	}
+	c.stats.Misses++
+	return AccessResult{}
+}
+
+// Insert fills line l, choosing a victim within the demand-visible ways.
+// ready is the cycle the fill data arrives; prefetch marks prefetch fills and
+// trigger records the requesting PC. The displaced line, if any, is returned
+// so the caller can write it back or notify prefetch-accuracy bookkeeping.
+func (c *Cache) Insert(l mem.Line, now, ready uint64, dirty, prefetch bool, trigger mem.Addr) Eviction {
+	c.clock++
+	si := c.setIndex(l)
+	set := c.sets[si]
+	// Refill of a line already present (e.g. prefetch racing demand):
+	// update in place, never duplicate tags.
+	for w := 0; w < c.demandWays; w++ {
+		if set[w].valid && set[w].line == l {
+			st := &set[w]
+			if ready < st.ready {
+				st.ready = ready
+			}
+			st.dirty = st.dirty || dirty
+			return Eviction{}
+		}
+	}
+	// Free way?
+	victim := -1
+	for w := 0; w < c.demandWays; w++ {
+		if !set[w].valid {
+			victim = w
+			break
+		}
+	}
+	var ev Eviction
+	if victim < 0 {
+		victim = c.repl[si].victim(c.demandWays)
+		st := set[victim]
+		ev = Eviction{Line: st.line, Dirty: st.dirty, Prefetch: st.prefetch, Trigger: st.trigger, Valid: true}
+		if st.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[victim] = lineState{line: l, valid: true, dirty: dirty, prefetch: prefetch, trigger: trigger, ready: ready}
+	c.repl[si].insert(victim, c.clock)
+	c.stats.Fills++
+	return ev
+}
+
+// Invalidate removes a line if present, returning its eviction record
+// (used by exclusive-ish LLC handling and by tests).
+func (c *Cache) Invalidate(l mem.Line) Eviction {
+	si := c.setIndex(l)
+	set := c.sets[si]
+	for w := range set {
+		if set[w].valid && set[w].line == l {
+			st := set[w]
+			set[w] = lineState{}
+			if st.dirty {
+				c.stats.Writebacks++
+			}
+			return Eviction{Line: st.line, Dirty: st.dirty, Prefetch: st.prefetch, Trigger: st.trigger, Valid: true}
+		}
+	}
+	return Eviction{}
+}
+
+// SetDemandWays narrows or widens the demand-visible associativity (the LLC
+// calls this when metadata ways are allocated or released). Shrinking evicts
+// every line in the ways being removed and returns them, dirty lines first
+// requiring writeback by the caller.
+func (c *Cache) SetDemandWays(n int) []Eviction {
+	if n < 0 {
+		n = 0
+	}
+	if n > c.cfg.Ways {
+		n = c.cfg.Ways
+	}
+	var evs []Eviction
+	if n < c.demandWays {
+		for si := range c.sets {
+			for w := n; w < c.demandWays; w++ {
+				st := &c.sets[si][w]
+				if st.valid {
+					evs = append(evs, Eviction{Line: st.line, Dirty: st.dirty, Prefetch: st.prefetch, Trigger: st.trigger, Valid: true})
+					if st.dirty {
+						c.stats.Writebacks++
+					}
+					*st = lineState{}
+				}
+			}
+		}
+	}
+	c.demandWays = n
+	return evs
+}
+
+// Occupancy returns the number of valid demand-visible lines (for tests).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for si := range c.sets {
+		for w := 0; w < c.demandWays; w++ {
+			if c.sets[si][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,196 @@
+// Package cache implements the set-associative caches of the simulated
+// memory hierarchy (Table 1 of the paper): tag state, dirty bits,
+// prefetch-fill bookkeeping, per-line fill-ready cycles for timeliness
+// modelling, and pluggable replacement policies (LRU, tree-PLRU, SRRIP).
+//
+// Caches here are functional state machines: they decide hits, victims and
+// recency. Latency and bandwidth are accounted by internal/sim and
+// internal/dram, which consult the per-line Ready cycle recorded at fill
+// time to charge partial latency for late prefetches.
+package cache
+
+import "fmt"
+
+// Policy selects a replacement policy for a cache.
+type Policy uint8
+
+const (
+	// LRU is true least-recently-used replacement.
+	LRU Policy = iota
+	// PLRU is tree-based pseudo-LRU (falls back to CLOCK for
+	// non-power-of-two associativity, which only arises after resizing).
+	PLRU
+	// SRRIP is 2-bit static re-reference interval prediction (Jaleel et
+	// al., ISCA'10), the policy Triangel uses for its metadata table and a
+	// good stand-in for the hierarchy-aware LLC policy in Table 1.
+	SRRIP
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case PLRU:
+		return "PLRU"
+	case SRRIP:
+		return "SRRIP"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+const (
+	srripBits    = 2
+	srripMax     = 1<<srripBits - 1 // 3: distant re-reference
+	srripInsert  = srripMax - 1     // 2: long re-reference on insert
+	srripPromote = 0                // hit promotion
+)
+
+// replacer tracks recency metadata for one cache set.
+type replacer interface {
+	// touch records a hit on way w at the given logical time.
+	touch(w int, now uint64)
+	// insert records a fill into way w.
+	insert(w int, now uint64)
+	// victim picks the way to evict among ways [0, limit). All ways in
+	// range are guaranteed valid when victim is called.
+	victim(limit int) int
+}
+
+// --- LRU ---
+
+type lruState struct {
+	last []uint64
+}
+
+func newLRU(ways int) *lruState { return &lruState{last: make([]uint64, ways)} }
+
+func (s *lruState) touch(w int, now uint64)  { s.last[w] = now }
+func (s *lruState) insert(w int, now uint64) { s.last[w] = now }
+
+func (s *lruState) victim(limit int) int {
+	best, bestT := 0, s.last[0]
+	for w := 1; w < limit; w++ {
+		if s.last[w] < bestT {
+			best, bestT = w, s.last[w]
+		}
+	}
+	return best
+}
+
+// --- tree PLRU (power-of-two ways) with CLOCK fallback ---
+
+type plruState struct {
+	bits  uint64 // tree bits; bit i is node i (root = 1), pointing to the colder half
+	ways  int
+	pow2  bool
+	ref   []bool // CLOCK fallback
+	hand  int
+	limit int
+}
+
+func newPLRU(ways int) *plruState {
+	return &plruState{
+		bits: 0,
+		ways: ways,
+		pow2: ways&(ways-1) == 0,
+		ref:  make([]bool, ways),
+	}
+}
+
+func (s *plruState) touch(w int, _ uint64)  { s.promote(w) }
+func (s *plruState) insert(w int, _ uint64) { s.promote(w) }
+
+func (s *plruState) promote(w int) {
+	if s.pow2 {
+		// Walk from root to leaf w, flipping each node away from w.
+		node := 1
+		span := s.ways
+		lo := 0
+		for span > 1 {
+			span /= 2
+			if w < lo+span {
+				// w in left half: point node at right half (bit=1).
+				s.bits |= 1 << uint(node)
+				node = node * 2
+			} else {
+				s.bits &^= 1 << uint(node)
+				node = node*2 + 1
+				lo += span
+			}
+		}
+		return
+	}
+	s.ref[w] = true
+}
+
+func (s *plruState) victim(limit int) int {
+	if s.pow2 && limit == s.ways {
+		node := 1
+		span := s.ways
+		lo := 0
+		for span > 1 {
+			span /= 2
+			if s.bits&(1<<uint(node)) != 0 {
+				// Bit points right (colder).
+				node = node*2 + 1
+				lo += span
+			} else {
+				node = node * 2
+			}
+		}
+		return lo
+	}
+	// CLOCK over [0, limit).
+	for i := 0; i < 2*limit; i++ {
+		w := s.hand % limit
+		s.hand = (s.hand + 1) % limit
+		if !s.ref[w] {
+			return w
+		}
+		s.ref[w] = false
+	}
+	return 0
+}
+
+// --- SRRIP ---
+
+type srripState struct {
+	rrpv []uint8
+}
+
+func newSRRIP(ways int) *srripState {
+	s := &srripState{rrpv: make([]uint8, ways)}
+	for i := range s.rrpv {
+		s.rrpv[i] = srripMax
+	}
+	return s
+}
+
+func (s *srripState) touch(w int, _ uint64)  { s.rrpv[w] = srripPromote }
+func (s *srripState) insert(w int, _ uint64) { s.rrpv[w] = srripInsert }
+
+func (s *srripState) victim(limit int) int {
+	for {
+		for w := 0; w < limit; w++ {
+			if s.rrpv[w] >= srripMax {
+				return w
+			}
+		}
+		for w := 0; w < limit; w++ {
+			s.rrpv[w]++
+		}
+	}
+}
+
+func newReplacer(p Policy, ways int) replacer {
+	switch p {
+	case LRU:
+		return newLRU(ways)
+	case PLRU:
+		return newPLRU(ways)
+	case SRRIP:
+		return newSRRIP(ways)
+	}
+	panic("cache: unknown policy " + p.String())
+}

@@ -1,0 +1,161 @@
+package core
+
+import "math/bits"
+
+// Multi-path Victim Buffer (Section 4.5). The metadata table stores one
+// Markov target per source; addresses participating in several temporal
+// sequences — (A,B,C) and (A,B,D) give B two successors — keep losing one of
+// them. The MVB catches targets evicted from the table so that a prefetch
+// trigger can fetch the alternate successors as well.
+//
+// Management rules (Section 4.5):
+//
+//   - Insertion: only targets whose Prophet priority level exceeds 0
+//     (acc > EL_ACC) are buffered.
+//   - Replacement: each target carries a small counter incremented on use;
+//     the entry with the lowest counter is the victim (the paper reuses the
+//     Prophet replacement policy with "priority = maximal counter value").
+//   - Prefetch: every table/reuse-buffer-triggered prefetch also looks up
+//     the MVB with the same source key and prefetches any *different*
+//     targets found.
+//
+// Geometry (Section 5.10): 65,536 entries x 43 bits (31-bit target, 10-bit
+// tag, 2-bit counter) = 344KB.
+type VictimBuffer struct {
+	setBits    uint
+	assoc      int
+	candidates int
+	sets       [][]vbEntry
+	clock      uint64
+
+	inserts uint64
+	hits    uint64
+}
+
+type vbEntry struct {
+	tag     uint16
+	target  uint32
+	counter uint8
+	valid   bool
+	last    uint64
+}
+
+const (
+	vbTagBits    = 10
+	vbTagMask    = 1<<vbTagBits - 1
+	vbCounterMax = 3 // 2-bit counter
+)
+
+// DefaultMVBEntries is the evaluated buffer size (Section 5.10).
+const DefaultMVBEntries = 65536
+
+// NewVictimBuffer builds an MVB with the given total entries (rounded up to
+// a power of two), set associativity, and the number of alternate targets
+// returned per lookup (Figure 16c's "Candidates", 1 in the final design).
+func NewVictimBuffer(entries, assoc, candidates int) *VictimBuffer {
+	if assoc <= 0 {
+		assoc = 4
+	}
+	if candidates <= 0 {
+		candidates = 1
+	}
+	if entries < assoc {
+		entries = assoc
+	}
+	setCount := 1
+	for setCount*assoc < entries {
+		setCount <<= 1
+	}
+	return &VictimBuffer{
+		setBits:    uint(bits.TrailingZeros(uint(setCount))),
+		assoc:      assoc,
+		candidates: candidates,
+		sets:       make([][]vbEntry, setCount),
+	}
+}
+
+// Entries returns the buffer capacity in entries.
+func (b *VictimBuffer) Entries() int { return len(b.sets) * b.assoc }
+
+// Candidates returns the per-lookup alternate-target budget.
+func (b *VictimBuffer) Candidates() int { return b.candidates }
+
+func (b *VictimBuffer) locate(srcKey uint32) (set int, tag uint16) {
+	set = int(srcKey & (1<<b.setBits - 1))
+	tag = uint16((srcKey >> b.setBits) & vbTagMask)
+	return set, tag
+}
+
+// Insert buffers an evicted Markov target. Only call for targets whose
+// Prophet priority exceeds 0; the caller enforces the Section 4.5 insertion
+// rule. Duplicate (source, target) pairs refresh the existing entry.
+func (b *VictimBuffer) Insert(srcKey, target uint32) {
+	set, tag := b.locate(srcKey)
+	entries := b.sets[set]
+	b.clock++
+	for i := range entries {
+		e := &entries[i]
+		if e.valid && e.tag == tag && e.target == target {
+			e.last = b.clock
+			return
+		}
+	}
+	b.inserts++
+	for i := range entries {
+		if !entries[i].valid {
+			entries[i] = vbEntry{tag: tag, target: target, valid: true, last: b.clock}
+			return
+		}
+	}
+	if len(entries) < b.assoc {
+		b.sets[set] = append(entries, vbEntry{tag: tag, target: target, valid: true, last: b.clock})
+		return
+	}
+	// Victim: lowest counter (least-proven target), oldest on ties.
+	vi := 0
+	for i := 1; i < len(entries); i++ {
+		if entries[i].counter < entries[vi].counter ||
+			(entries[i].counter == entries[vi].counter && entries[i].last < entries[vi].last) {
+			vi = i
+		}
+	}
+	entries[vi] = vbEntry{tag: tag, target: target, valid: true, last: b.clock}
+}
+
+// Lookup returns up to Candidates targets recorded for srcKey, excluding
+// exclude (the target the metadata table already supplied). Returned entries
+// have their use counters incremented, implementing the Section 4.5
+// replacement rule.
+func (b *VictimBuffer) Lookup(srcKey uint32, exclude uint32) []uint32 {
+	set, tag := b.locate(srcKey)
+	entries := b.sets[set]
+	var out []uint32
+	b.clock++
+	for i := range entries {
+		e := &entries[i]
+		if !e.valid || e.tag != tag || e.target == exclude {
+			continue
+		}
+		if e.counter < vbCounterMax {
+			e.counter++
+		}
+		e.last = b.clock
+		out = append(out, e.target)
+		if len(out) >= b.candidates {
+			break
+		}
+	}
+	if len(out) > 0 {
+		b.hits++
+	}
+	return out
+}
+
+// Stats returns (inserts, hits) for reporting.
+func (b *VictimBuffer) Stats() (inserts, hits uint64) { return b.inserts, b.hits }
+
+// StorageBits returns the buffer's storage cost in bits: 43 bits per entry
+// (31-bit target + 10-bit tag + 2-bit counter), as accounted in Section 5.10.
+func (b *VictimBuffer) StorageBits() int {
+	return b.Entries() * (31 + vbTagBits + 2)
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"prophet/internal/mem"
+	"prophet/internal/temporal"
+)
+
+// Features selects which Prophet mechanisms are active. The Figure 19
+// ablation enables them cumulatively over the "Triage4 + Triangel metadata"
+// baseline: +Repla, +Insert, +MVB, +Resize.
+type Features struct {
+	// Replacement activates the profile-guided replacement policy
+	// (priority levels from Equation 2 + runtime policy among candidates).
+	Replacement bool
+	// Insertion activates the profile-guided insertion filter (Equation 1).
+	Insertion bool
+	// MVB activates the Multi-path Victim Buffer.
+	MVB bool
+	// Resizing applies the CSR's profile-guided way allocation
+	// (Equation 3) instead of the fixed maximum table.
+	Resizing bool
+}
+
+// AllFeatures returns the full Prophet configuration.
+func AllFeatures() Features {
+	return Features{Replacement: true, Insertion: true, MVB: true, Resizing: true}
+}
+
+// Config parameterizes the Prophet engine.
+type Config struct {
+	// Degree is the chained prefetch degree (4, matching the Triage4
+	// ablation baseline and Triangel's aggressiveness).
+	Degree int
+	// Table is the metadata-table geometry; the policy field is chosen by
+	// the engine from Features.Replacement.
+	Table temporal.TableConfig
+	// Features gates Prophet's mechanisms.
+	Features Features
+	// MVBEntries sizes the victim buffer (DefaultMVBEntries).
+	MVBEntries int
+	// MVBAssoc is the victim-buffer set associativity.
+	MVBAssoc int
+	// MVBCandidates is the alternate-target budget per lookup (Fig 16c).
+	MVBCandidates int
+	// DefaultPriority is the replacement priority for PCs without an
+	// installed hint.
+	DefaultPriority uint8
+	// HintBufferEntries caps the hint buffer (128).
+	HintBufferEntries int
+}
+
+// DefaultConfig returns the paper's evaluated Prophet configuration.
+func DefaultConfig() Config {
+	return Config{
+		Degree:            4,
+		Table:             temporal.DefaultTableConfig(),
+		Features:          AllFeatures(),
+		MVBEntries:        DefaultMVBEntries,
+		MVBAssoc:          4,
+		MVBCandidates:     1,
+		DefaultPriority:   1,
+		HintBufferEntries: HintBufferEntries,
+	}
+}
+
+// SimplifiedConfig returns the Step 1 profiling configuration (Section 3.2):
+// insertion policy disabled, fixed 1MB metadata table, prefetch degree 1 —
+// "an unbiased evaluation of memory instructions under temporal prefetching".
+func SimplifiedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Degree = 1
+	cfg.Features = Features{} // pure runtime: no filtering, no MVB, fixed table
+	return cfg
+}
+
+// Prophet is the temporal prefetcher with profile-guided metadata
+// management. Construct with New, passing the hint set extracted from the
+// optimized binary (possibly empty for the simplified profiling mode).
+type Prophet struct {
+	cfg   Config
+	csr   CSR
+	hints *HintBuffer
+	table *temporal.Table
+	comp  *temporal.Compressor
+	train *temporal.TrainingUnit
+	reuse *temporal.ReuseBuffer
+	mvb   *VictimBuffer
+
+	dropped uint64 // demand requests discarded by the insertion policy
+}
+
+// New builds a Prophet engine from its configuration and the binary's hint
+// set. hintWeight carries each PC's miss contribution for hint-buffer
+// prioritization (may be nil when hints fit the buffer).
+func New(cfg Config, hints HintSet, hintWeight map[mem.Addr]uint64) *Prophet {
+	if cfg.Degree <= 0 {
+		cfg.Degree = 1
+	}
+	tableCfg := cfg.Table
+	if cfg.Features.Replacement {
+		tableCfg.Policy = temporal.ProphetPriority
+	} else {
+		tableCfg.Policy = temporal.MetaSRRIP
+	}
+	ways := tableCfg.MaxWays
+	csr := CSR{ProphetEnabled: true, MetaWays: ways}
+	if cfg.Features.Resizing {
+		csr.MetaWays = hints.MetaWays
+		csr.TPDisabled = hints.DisableTP
+		ways = hints.MetaWays
+		if ways > tableCfg.MaxWays {
+			ways = tableCfg.MaxWays
+		}
+		if hints.DisableTP {
+			ways = 0
+		}
+	}
+	p := &Prophet{
+		cfg:   cfg,
+		csr:   csr,
+		hints: NewHintBuffer(cfg.HintBufferEntries),
+		table: temporal.NewTable(tableCfg, ways),
+		comp:  temporal.NewCompressor(),
+		train: temporal.NewTrainingUnit(1024),
+		reuse: temporal.NewReuseBuffer(128),
+	}
+	if cfg.Features.MVB {
+		p.mvb = NewVictimBuffer(cfg.MVBEntries, cfg.MVBAssoc, cfg.MVBCandidates)
+	}
+	if len(hints.PC) > 0 {
+		p.hints.Install(hints.PC, hintWeight)
+	}
+	return p
+}
+
+// Name implements temporal.Engine.
+func (p *Prophet) Name() string { return "prophet" }
+
+// CSR returns the engine's control/status register contents.
+func (p *Prophet) CSR() CSR { return p.csr }
+
+// HintCount returns the number of installed PC hints.
+func (p *Prophet) HintCount() int { return p.hints.Len() }
+
+// Dropped returns how many demand requests the insertion policy discarded.
+func (p *Prophet) Dropped() uint64 { return p.dropped }
+
+// OnAccess implements temporal.Engine.
+func (p *Prophet) OnAccess(ev temporal.AccessEvent) []mem.Line {
+	if p.csr.TPDisabled || p.table.Ways() == 0 {
+		return nil
+	}
+	if !ev.Trainable() {
+		return nil
+	}
+
+	priority := p.cfg.DefaultPriority
+	if ev.PC != 0 {
+		if h, ok := p.hints.Lookup(ev.PC); ok {
+			if p.cfg.Features.Insertion && !h.Insert {
+				// Equation 1: discard all demand requests from
+				// PCs with no temporal pattern — no training,
+				// no metadata insertion, no prefetch.
+				p.dropped++
+				return nil
+			}
+			priority = h.Priority
+		}
+	}
+
+	cur := p.comp.Index(ev.Line)
+	if ev.PC != 0 {
+		if prev, ok := p.train.Observe(ev.PC, ev.Line); ok && prev != ev.Line {
+			src := p.comp.Index(prev)
+			if !p.cfg.Features.Replacement {
+				priority = 0
+			}
+			if ev := p.table.Insert(src, cur, priority); ev.Valid {
+				// Section 4.5 insertion rule: only priority > 0
+				// targets enter the victim buffer.
+				if p.mvb != nil && ev.Priority > 0 {
+					p.mvb.Insert(ev.SrcKey(p.table.Config()), ev.Target)
+				}
+			}
+		}
+	}
+
+	return p.predict(cur, priority)
+}
+
+// mvbPrefetchMinPriority is the fine-grained management rule keeping the
+// Multi-path Victim Buffer's bandwidth cost low (Section 5.9 credits MVB's
+// +1.95% traffic to "fine-grained management"): alternate-path prefetches
+// fire only for triggers whose profiled accuracy sits in the upper priority
+// bands, where a second Markov target is likely real rather than noise.
+const mvbPrefetchMinPriority = 2
+
+// predict walks the Markov chain and augments each step with Multi-path
+// Victim Buffer alternates.
+func (p *Prophet) predict(src uint32, priority uint8) []mem.Line {
+	var out []mem.Line
+	cur := src
+	for i := 0; i < p.cfg.Degree; i++ {
+		target, ok := p.reuse.Lookup(cur)
+		if !ok {
+			target, ok = p.table.Lookup(cur)
+			if ok {
+				p.reuse.Insert(cur, target)
+			}
+		}
+		var primary uint32
+		hasPrimary := ok
+		if ok {
+			primary = target
+			if line, ok2 := p.comp.Line(target); ok2 {
+				out = append(out, line)
+			}
+		}
+		// MVB: same lookup key, fetch alternate successors (Section
+		// 4.5 "Prefetch" rule). The MVB is searched even when the
+		// table missed — the path may live only in the buffer.
+		if p.mvb != nil && priority >= mvbPrefetchMinPriority {
+			key := p.srcKey(cur)
+			exclude := uint32(0xFFFFFFFF)
+			if hasPrimary {
+				exclude = primary
+			}
+			for _, alt := range p.mvb.Lookup(key, exclude) {
+				if line, ok2 := p.comp.Line(alt); ok2 {
+					out = append(out, line)
+				}
+			}
+		}
+		if !hasPrimary {
+			break
+		}
+		cur = primary
+	}
+	return out
+}
+
+// srcKey reproduces the metadata table's lossy (set, tag) key for a
+// compressed index, so MVB lookups match eviction-time keys.
+func (p *Prophet) srcKey(src uint32) uint32 {
+	ev := temporal.Evicted{
+		Set: int(src & uint32(p.table.Config().Sets-1)),
+		Tag: uint16(src >> uint(setBitsOf(p.table.Config().Sets)) & 0x3FF),
+	}
+	return ev.SrcKey(p.table.Config())
+}
+
+func setBitsOf(sets int) int {
+	n := 0
+	for 1<<n < sets {
+		n++
+	}
+	return n
+}
+
+// PrefetchUseful implements temporal.Engine. Prophet's policies are profile-
+// driven, so runtime feedback only refreshes the reuse buffer.
+func (p *Prophet) PrefetchUseful(mem.Addr, mem.Line) {}
+
+// PrefetchUseless implements temporal.Engine.
+func (p *Prophet) PrefetchUseless(mem.Addr, mem.Line) {}
+
+// MetaWays implements temporal.Engine.
+func (p *Prophet) MetaWays() int { return p.table.Ways() }
+
+// TableStats implements temporal.Engine.
+func (p *Prophet) TableStats() temporal.TableStats { return p.table.Stats() }
+
+// Table exposes the metadata table for measurement tooling.
+func (p *Prophet) Table() *temporal.Table { return p.table }
+
+// MVB exposes the victim buffer (nil when the feature is off).
+func (p *Prophet) MVB() *VictimBuffer { return p.mvb }
+
+var _ temporal.Engine = (*Prophet)(nil)

@@ -1,0 +1,214 @@
+package cpu
+
+import (
+	"testing"
+
+	"prophet/internal/mem"
+)
+
+// fixedMemory returns hitLat for every access, or missLat for lines in the
+// miss set, and reports l1Miss accordingly.
+type fixedMemory struct {
+	hitLat  uint64
+	missLat uint64
+	misses  map[mem.Line]bool
+	count   int
+}
+
+func (m *fixedMemory) Access(a mem.Access, now uint64) (uint64, bool) {
+	m.count++
+	if m.misses != nil && m.misses[a.Line()] {
+		return now + m.missLat, true
+	}
+	return now + m.hitLat, false
+}
+
+func loadAt(pc, addr mem.Addr, dep uint32, gap uint16) mem.Access {
+	return mem.Access{PC: pc, Addr: addr, Kind: mem.Load, Dep: dep, Gap: gap}
+}
+
+func TestIPCBoundedByFetchWidth(t *testing.T) {
+	// All hits, no dependences: throughput should approach fetch width.
+	m := &fixedMemory{hitLat: 2}
+	var recs []mem.Access
+	for i := 0; i < 10000; i++ {
+		recs = append(recs, loadAt(1, mem.Addr(i*64), 0, 4)) // 5 instructions per record
+	}
+	st := New(Default(), m).Run(mem.NewSliceSource(recs))
+	ipc := st.IPC()
+	if ipc > 5.01 {
+		t.Fatalf("IPC %.2f exceeds fetch width 5", ipc)
+	}
+	if ipc < 4.0 {
+		t.Fatalf("IPC %.2f too far below fetch width for an all-hit run", ipc)
+	}
+}
+
+func TestDependentChainSerializes(t *testing.T) {
+	// Every load misses (200 cycles) and depends on the previous one:
+	// total cycles ~= n * 200.
+	misses := map[mem.Line]bool{}
+	var recs []mem.Access
+	const n = 200
+	for i := 0; i < n; i++ {
+		addr := mem.Addr(i * 64)
+		misses[mem.LineOf(addr)] = true
+		recs = append(recs, loadAt(1, addr, 1, 0))
+	}
+	m := &fixedMemory{hitLat: 2, missLat: 200, misses: misses}
+	st := New(Default(), m).Run(mem.NewSliceSource(recs))
+	if st.Cycles < n*200*9/10 {
+		t.Fatalf("dependent chain finished in %d cycles, want >= %d", st.Cycles, n*200*9/10)
+	}
+}
+
+func TestIndependentMissesOverlap(t *testing.T) {
+	// Same misses but independent: MLP should cut cycles far below serial.
+	misses := map[mem.Line]bool{}
+	var recs []mem.Access
+	const n = 200
+	for i := 0; i < n; i++ {
+		addr := mem.Addr(i * 64)
+		misses[mem.LineOf(addr)] = true
+		recs = append(recs, loadAt(1, addr, 0, 0))
+	}
+	m := &fixedMemory{hitLat: 2, missLat: 200, misses: misses}
+	st := New(Default(), m).Run(mem.NewSliceSource(recs))
+	serial := uint64(n * 200)
+	if st.Cycles > serial/4 {
+		t.Fatalf("independent misses took %d cycles; want well below serial %d", st.Cycles, serial)
+	}
+}
+
+func TestMSHRLimitCapsMLP(t *testing.T) {
+	misses := map[mem.Line]bool{}
+	var recs []mem.Access
+	const n = 640
+	for i := 0; i < n; i++ {
+		addr := mem.Addr(i * 64)
+		misses[mem.LineOf(addr)] = true
+		recs = append(recs, loadAt(1, addr, 0, 0))
+	}
+	m := &fixedMemory{hitLat: 2, missLat: 200, misses: misses}
+	cfgWide := Default()
+	cfgWide.L1MSHRs = 64
+	cfgNarrow := Default()
+	cfgNarrow.L1MSHRs = 2
+	wide := New(cfgWide, m).Run(mem.NewSliceSource(recs))
+	m2 := &fixedMemory{hitLat: 2, missLat: 200, misses: misses}
+	narrow := New(cfgNarrow, m2).Run(mem.NewSliceSource(recs))
+	if narrow.Cycles <= wide.Cycles {
+		t.Fatalf("narrow MSHRs (%d cycles) should be slower than wide (%d cycles)", narrow.Cycles, wide.Cycles)
+	}
+	if narrow.Cycles < wide.Cycles*4 {
+		t.Fatalf("MSHR=2 run only %.1fx slower than MSHR=64; limit not binding", float64(narrow.Cycles)/float64(wide.Cycles))
+	}
+}
+
+func TestROBLimitBlocksDistantOverlap(t *testing.T) {
+	// One long miss followed by ROB-filling hit instructions, then another
+	// miss: the second miss cannot start until the first retires once the
+	// window fills.
+	misses := map[mem.Line]bool{0: true, 1: true}
+	var recs []mem.Access
+	recs = append(recs, loadAt(1, 0, 0, 0))
+	// 600 single-instruction hit records exceed the 288-entry ROB.
+	for i := 0; i < 600; i++ {
+		recs = append(recs, loadAt(2, mem.Addr(0x100000+i*64), 0, 0))
+	}
+	recs = append(recs, loadAt(3, 64, 0, 0))
+	m := &fixedMemory{hitLat: 1, missLat: 1000, misses: misses}
+	st := New(Default(), m).Run(mem.NewSliceSource(recs))
+	// The second miss must start after the first completes (cycle ~1000),
+	// so total must exceed 1000 + 1000 * something well beyond 1100.
+	if st.Cycles < 1900 {
+		t.Fatalf("run took %d cycles; ROB should have serialized the two misses (~2000)", st.Cycles)
+	}
+}
+
+func TestGapInstructionsCostFetchBandwidth(t *testing.T) {
+	m := &fixedMemory{hitLat: 1}
+	var recs []mem.Access
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, loadAt(1, mem.Addr(i*64), 0, 99)) // 100 instrs per record
+	}
+	st := New(Default(), m).Run(mem.NewSliceSource(recs))
+	if st.Instructions != 100000 {
+		t.Fatalf("Instructions = %d, want 100000", st.Instructions)
+	}
+	// 100k instructions at fetch width 5 needs >= 20k cycles.
+	if st.Cycles < 20000 {
+		t.Fatalf("Cycles = %d, want >= 20000 (fetch-bandwidth bound)", st.Cycles)
+	}
+}
+
+func TestStoresDoNotStall(t *testing.T) {
+	misses := map[mem.Line]bool{}
+	var recs []mem.Access
+	for i := 0; i < 100; i++ {
+		addr := mem.Addr(i * 64)
+		misses[mem.LineOf(addr)] = true
+		recs = append(recs, mem.Access{PC: 1, Addr: addr, Kind: mem.Store})
+	}
+	m := &fixedMemory{hitLat: 2, missLat: 500, misses: misses}
+	st := New(Default(), m).Run(mem.NewSliceSource(recs))
+	// Posted stores retire quickly; the run should be near fetch-bound.
+	if st.Cycles > 1000 {
+		t.Fatalf("store-only run took %d cycles; stores should be posted", st.Cycles)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := mem.NewPRNG(3)
+	var recs []mem.Access
+	misses := map[mem.Line]bool{}
+	for i := 0; i < 5000; i++ {
+		addr := mem.Addr(rng.Intn(1<<20) * 64)
+		if rng.Intn(3) == 0 {
+			misses[mem.LineOf(addr)] = true
+		}
+		recs = append(recs, loadAt(mem.Addr(rng.Intn(16)), addr, uint32(rng.Intn(3)), uint16(rng.Intn(10))))
+	}
+	run := func() Stats {
+		m := &fixedMemory{hitLat: 2, missLat: 150, misses: misses}
+		return New(Default(), m).Run(mem.NewSliceSource(recs))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic core run: %+v vs %+v", a, b)
+	}
+}
+
+func TestStatsIPCZeroCycles(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Fatal("IPC of empty stats should be 0")
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero fetch width should panic")
+		}
+	}()
+	New(Config{}, &fixedMemory{})
+}
+
+func TestEmptyRun(t *testing.T) {
+	st := New(Default(), &fixedMemory{hitLat: 1}).Run(mem.NewSliceSource(nil))
+	if st.Instructions != 0 || st.MemRecords != 0 {
+		t.Fatalf("empty run produced %+v", st)
+	}
+}
+
+func TestDepClampOutOfRange(t *testing.T) {
+	// A Dep larger than the ring must not panic and must not reference
+	// garbage.
+	m := &fixedMemory{hitLat: 1}
+	recs := []mem.Access{loadAt(1, 0, 999999, 0), loadAt(1, 64, 42, 0)}
+	st := New(Default(), m).Run(mem.NewSliceSource(recs))
+	if st.MemRecords != 2 {
+		t.Fatalf("MemRecords = %d", st.MemRecords)
+	}
+}

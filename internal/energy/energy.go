@@ -1,0 +1,66 @@
+// Package energy models memory-hierarchy energy the way Section 5.11 does:
+// CACTI-style per-access energies for the on-chip caches at a 22nm node,
+// with a DRAM access costing 25x an LLC access. Totals are relative — the
+// paper reports Prophet's overhead as a percentage over Triangel, which the
+// ratio of two totals reproduces regardless of the absolute scale.
+package energy
+
+import "prophet/internal/sim"
+
+// Model holds per-access energies in picojoules.
+type Model struct {
+	L1Access   float64
+	L2Access   float64
+	L3Access   float64
+	DRAMAccess float64
+	// MetaAccess is the metadata-table access cost (an LLC-resident
+	// structure, charged like an LLC access).
+	MetaAccess float64
+	// MVBAccess is the Multi-path Victim Buffer access cost (a small
+	// dedicated SRAM).
+	MVBAccess float64
+}
+
+// Default returns a 22nm-flavoured model: energies grow with structure
+// size, and DRAM = 25x LLC (the paper's ratio).
+func Default() Model {
+	const llc = 100.0 // pJ per LLC access
+	return Model{
+		L1Access:   10,
+		L2Access:   35,
+		L3Access:   llc,
+		DRAMAccess: 25 * llc,
+		MetaAccess: llc,
+		MVBAccess:  15,
+	}
+}
+
+// Breakdown itemizes a run's memory-hierarchy energy.
+type Breakdown struct {
+	L1, L2, L3, DRAM, Metadata, MVB float64
+}
+
+// Total sums the breakdown (pJ).
+func (b Breakdown) Total() float64 {
+	return b.L1 + b.L2 + b.L3 + b.DRAM + b.Metadata + b.MVB
+}
+
+// Evaluate computes the energy breakdown of a simulation run.
+// mvbAccesses is 0 for schemes without a victim buffer.
+func (m Model) Evaluate(s sim.Stats, mvbAccesses uint64) Breakdown {
+	l1 := float64(s.L1.Hits+s.L1.Misses+s.L1.Fills) * m.L1Access
+	l2 := float64(s.L2.Hits+s.L2.Misses+s.L2.Fills) * m.L2Access
+	l3 := float64(s.L3.Hits+s.L3.Misses+s.L3.Fills) * m.L3Access
+	dr := float64(s.DRAM.Traffic()) * m.DRAMAccess
+	meta := float64(s.TableStats.Lookups+s.TableStats.Insertions+s.TableStats.Updates) * m.MetaAccess
+	mvb := float64(mvbAccesses) * m.MVBAccess
+	return Breakdown{L1: l1, L2: l2, L3: l3, DRAM: dr, Metadata: meta, MVB: mvb}
+}
+
+// Overhead returns (scheme - reference) / reference for two totals.
+func Overhead(scheme, reference float64) float64 {
+	if reference == 0 {
+		return 0
+	}
+	return (scheme - reference) / reference
+}

@@ -1,0 +1,70 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"prophet/internal/cache"
+	"prophet/internal/dram"
+	"prophet/internal/sim"
+	"prophet/internal/temporal"
+)
+
+func TestDRAMRatioMatchesPaper(t *testing.T) {
+	m := Default()
+	if m.DRAMAccess/m.L3Access != 25 {
+		t.Fatalf("DRAM/LLC energy ratio = %v, paper uses 25x", m.DRAMAccess/m.L3Access)
+	}
+}
+
+func TestEvaluateBreakdown(t *testing.T) {
+	m := Model{L1Access: 1, L2Access: 2, L3Access: 4, DRAMAccess: 100, MetaAccess: 4, MVBAccess: 1}
+	s := sim.Stats{
+		L1:         cache.Stats{Hits: 10, Misses: 5, Fills: 5},
+		L2:         cache.Stats{Hits: 4, Misses: 1, Fills: 1},
+		L3:         cache.Stats{Hits: 1, Misses: 1, Fills: 1},
+		DRAM:       dram.Stats{Reads: 2, Writes: 1},
+		TableStats: temporal.TableStats{Lookups: 10, Insertions: 5, Updates: 5},
+	}
+	b := m.Evaluate(s, 7)
+	if b.L1 != 20 || b.L2 != 12 || b.L3 != 12 {
+		t.Fatalf("cache energies: %+v", b)
+	}
+	if b.DRAM != 300 {
+		t.Fatalf("DRAM energy = %v", b.DRAM)
+	}
+	if b.Metadata != 80 {
+		t.Fatalf("metadata energy = %v", b.Metadata)
+	}
+	if b.MVB != 7 {
+		t.Fatalf("MVB energy = %v", b.MVB)
+	}
+	if got := b.Total(); got != 20+12+12+300+80+7 {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if got := Overhead(103, 100); math.Abs(got-0.03) > 1e-12 {
+		t.Fatalf("Overhead = %v", got)
+	}
+	if Overhead(5, 0) != 0 {
+		t.Fatal("zero reference")
+	}
+}
+
+func TestDRAMDominates(t *testing.T) {
+	// Sanity: with realistic counters, DRAM is the dominant term — the
+	// property that makes wasted prefetch traffic costly in Section 5.11.
+	m := Default()
+	s := sim.Stats{
+		L1:   cache.Stats{Hits: 1000, Misses: 100, Fills: 100},
+		L2:   cache.Stats{Hits: 50, Misses: 50, Fills: 50},
+		L3:   cache.Stats{Hits: 25, Misses: 25, Fills: 25},
+		DRAM: dram.Stats{Reads: 25, Writes: 5},
+	}
+	b := m.Evaluate(s, 0)
+	if b.DRAM < b.L1 && b.DRAM < b.L2 {
+		t.Fatalf("DRAM energy should dominate: %+v", b)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prophet/internal/pipeline"
+	"prophet/internal/sim"
+	"prophet/internal/stats"
+	"prophet/internal/textplot"
+	"prophet/internal/triangel"
+)
+
+// schemeRun is one workload's outcome under one scheme.
+type schemeRun struct {
+	Stats    sim.Stats
+	Speedup  float64
+	Traffic  float64 // normalized to baseline
+	Coverage float64
+	Accuracy float64
+}
+
+// comparison is the shared RPG2 / Triangel / Prophet evaluation over a
+// workload list — the data behind Figures 10, 11, 12, 15, 17 and 18.
+type comparison struct {
+	Labels   []string
+	Baseline []sim.Stats
+	RPG2     []schemeRun
+	Triangel []schemeRun
+	Prophet  []schemeRun
+	Notes    []string
+}
+
+// namedWorkload pairs a label with its trace factory.
+type namedWorkload struct {
+	Name    string
+	Factory pipeline.SourceFactory
+}
+
+// runComparison evaluates all three schemes against the no-TP baseline.
+func runComparison(cfg pipeline.Config, list []namedWorkload) comparison {
+	var c comparison
+	for _, w := range list {
+		base := pipeline.RunBaseline(cfg.Sim, w.Factory())
+		mk := func(s sim.Stats) schemeRun {
+			return schemeRun{
+				Stats:    s,
+				Speedup:  stats.Speedup(s.IPC(), base.IPC()),
+				Traffic:  stats.NormalizedTraffic(s.DRAMTraffic(), base.DRAMTraffic()),
+				Coverage: stats.Coverage(base.L2DemandMisses, s.L2DemandMisses),
+				Accuracy: s.TPAccuracy(),
+			}
+		}
+
+		rp := pipeline.RunRPG2(cfg.Sim, w.Factory, 0)
+		rpRun := mk(rp.Stats)
+		if rp.Kernels == 0 || rp.Distance == 0 {
+			// No qualifying kernels (or rolled back): no prefetches
+			// were issued, so accuracy is undefined — the paper sets
+			// it to 0 (Figure 12 footnote).
+			rpRun.Accuracy = 0
+		}
+
+		trStats := pipeline.RunTriangel(cfg.Sim, triangel.Default(), w.Factory())
+
+		prStats, _ := pipeline.RunProphetDirect(cfg, w.Factory)
+
+		c.Labels = append(c.Labels, w.Name)
+		c.Baseline = append(c.Baseline, base)
+		c.RPG2 = append(c.RPG2, rpRun)
+		c.Triangel = append(c.Triangel, mk(trStats))
+		c.Prophet = append(c.Prophet, mk(prStats))
+		c.Notes = append(c.Notes,
+			fmt.Sprintf("%s: baseIPC=%.3f rpg2Kernels=%d rpg2Dist=%d prophetWays=%d",
+				w.Name, base.IPC(), rp.Kernels, rp.Distance, prStats.MetaWays))
+	}
+	return c
+}
+
+func (c comparison) series(metric func(schemeRun) float64) []textplot.Series {
+	get := func(runs []schemeRun) []float64 {
+		out := make([]float64, len(runs))
+		for i, r := range runs {
+			out[i] = metric(r)
+		}
+		return out
+	}
+	return []textplot.Series{
+		{Name: "RPG2", Values: get(c.RPG2)},
+		{Name: "Triangel", Values: get(c.Triangel)},
+		{Name: "Prophet", Values: get(c.Prophet)},
+	}
+}
+
+// specWorkloads builds the named workload list for SPEC comparisons.
+func specWorkloads(opts Options) []namedWorkload {
+	var out []namedWorkload
+	for _, w := range specSet(opts) {
+		out = append(out, namedWorkload{Name: w.Name, Factory: factoryFor(w, opts)})
+	}
+	return out
+}
+
+// graphWorkloads builds the named workload list for CRONO comparisons.
+func graphWorkloads(opts Options) []namedWorkload {
+	var out []namedWorkload
+	for _, g := range graphSet(opts) {
+		out = append(out, namedWorkload{Name: g.Name, Factory: graphFactory(g, opts)})
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package mem defines the fundamental address and trace types shared by the
+// whole simulator: byte addresses, 64-byte cache-line addresses, memory-access
+// records, and streaming trace sources.
+//
+// A trace is a sequence of Access records. Each record describes one memory
+// instruction (its PC, effective address and kind) plus two pieces of
+// micro-architectural context that a flat address stream cannot carry:
+//
+//   - Gap: the number of non-memory instructions fetched immediately before
+//     this access. The core model charges fetch/commit bandwidth for them.
+//   - Dep: the distance, in memory records, to the producer of this access's
+//     address (0 = no dependence). Pointer-chasing loads carry Dep=1 and
+//     therefore serialize behind the previous miss; index-array loads carry
+//     Dep=0 and overlap freely. This is what gives the simulator realistic
+//     memory-level parallelism without simulating register dataflow.
+package mem
+
+import "fmt"
+
+// LineShift is log2 of the cache-line size. All caches in the simulated
+// system use 64-byte lines (Table 1 of the paper).
+const LineShift = 6
+
+// LineBytes is the cache-line size in bytes.
+const LineBytes = 1 << LineShift
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// Line is a cache-line address (a byte address with the low 6 bits dropped).
+type Line uint64
+
+// LineOf returns the cache line containing byte address a.
+func LineOf(a Addr) Line { return Line(a >> LineShift) }
+
+// Addr returns the byte address of the first byte of the line.
+func (l Line) Addr() Addr { return Addr(l) << LineShift }
+
+// String formats the line address as hex for debugging.
+func (l Line) String() string { return fmt.Sprintf("line:%#x", uint64(l)) }
+
+// Kind discriminates memory-access types in a trace.
+type Kind uint8
+
+const (
+	// Load is a demand read access.
+	Load Kind = iota
+	// Store is a demand write access.
+	Store
+)
+
+// String returns "load" or "store".
+func (k Kind) String() string {
+	if k == Store {
+		return "store"
+	}
+	return "load"
+}
+
+// Access is one memory-instruction record in a trace.
+type Access struct {
+	// PC is the address of the memory instruction.
+	PC Addr
+	// Addr is the effective (data) address accessed.
+	Addr Addr
+	// Kind says whether the access reads or writes.
+	Kind Kind
+	// Dep is the distance, in memory records, to the record producing this
+	// access's address. 0 means the address does not depend on a recent
+	// load (it can issue as soon as it is fetched); 1 means it depends on
+	// the immediately preceding record, as in pointer chasing.
+	Dep uint32
+	// Gap is the number of non-memory instructions that precede this
+	// access in program order. They consume fetch/commit bandwidth but
+	// never access the memory hierarchy.
+	Gap uint16
+}
+
+// Line returns the cache line touched by the access.
+func (a Access) Line() Line { return LineOf(a.Addr) }
+
+// Instructions returns the number of dynamic instructions the record
+// represents: the access itself plus its non-memory gap.
+func (a Access) Instructions() uint64 { return 1 + uint64(a.Gap) }
+
+// Source is a pull-based stream of accesses. Next returns the next record and
+// true, or a zero Access and false when the stream is exhausted. Sources are
+// single-use; generators return fresh Sources on demand.
+type Source interface {
+	Next() (Access, bool)
+}
+
+// SliceSource adapts an in-memory slice to the Source interface.
+type SliceSource struct {
+	recs []Access
+	pos  int
+}
+
+// NewSliceSource returns a Source that replays recs in order.
+func NewSliceSource(recs []Access) *SliceSource { return &SliceSource{recs: recs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Access, bool) {
+	if s.pos >= len(s.recs) {
+		return Access{}, false
+	}
+	a := s.recs[s.pos]
+	s.pos++
+	return a, true
+}
+
+// Collect drains a source into a slice, stopping after max records
+// (max <= 0 means unbounded). It is a convenience for tests and for the
+// trace-file writer.
+func Collect(src Source, max int) []Access {
+	var out []Access
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+		if max > 0 && len(out) >= max {
+			return out
+		}
+	}
+}
+
+// Limit wraps a source so that it yields at most n records.
+func Limit(src Source, n uint64) Source { return &limited{src: src, left: n} }
+
+type limited struct {
+	src  Source
+	left uint64
+}
+
+func (l *limited) Next() (Access, bool) {
+	if l.left == 0 {
+		return Access{}, false
+	}
+	l.left--
+	return l.src.Next()
+}
+
+// FuncSource adapts a closure to the Source interface.
+type FuncSource func() (Access, bool)
+
+// Next implements Source.
+func (f FuncSource) Next() (Access, bool) { return f() }

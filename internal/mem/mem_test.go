@@ -1,0 +1,258 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want Line
+	}{
+		{0, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{128, 2},
+		{0xFFFF_FFFF_FFFF_FFFF, Line(0xFFFF_FFFF_FFFF_FFFF >> 6)},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.want {
+			t.Errorf("LineOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestLineAddrRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		l := Line(raw >> LineShift)
+		return LineOf(l.Addr()) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessInstructions(t *testing.T) {
+	a := Access{Gap: 7}
+	if got := a.Instructions(); got != 8 {
+		t.Errorf("Instructions() = %d, want 8", got)
+	}
+	if got := (Access{}).Instructions(); got != 1 {
+		t.Errorf("zero-gap Instructions() = %d, want 1", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Errorf("Kind strings wrong: %q %q", Load, Store)
+	}
+}
+
+func TestSliceSourceAndLimit(t *testing.T) {
+	recs := []Access{{PC: 1}, {PC: 2}, {PC: 3}}
+	src := NewSliceSource(recs)
+	got := Collect(Limit(src, 2), 0)
+	if len(got) != 2 || got[0].PC != 1 || got[1].PC != 2 {
+		t.Fatalf("Limit(2) collected %v", got)
+	}
+	// Original source continues from where Limit stopped.
+	a, ok := src.Next()
+	if !ok || a.PC != 3 {
+		t.Fatalf("source should continue at PC 3, got %v ok=%v", a, ok)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source should be exhausted")
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	recs := make([]Access, 10)
+	got := Collect(NewSliceSource(recs), 4)
+	if len(got) != 4 {
+		t.Fatalf("Collect max=4 returned %d records", len(got))
+	}
+}
+
+func TestFuncSource(t *testing.T) {
+	n := 0
+	src := FuncSource(func() (Access, bool) {
+		if n >= 3 {
+			return Access{}, false
+		}
+		n++
+		return Access{PC: Addr(n)}, true
+	})
+	if got := len(Collect(src, 0)); got != 3 {
+		t.Fatalf("FuncSource yielded %d records, want 3", got)
+	}
+}
+
+func TestPRNGDeterminism(t *testing.T) {
+	a, b := NewPRNG(42), NewPRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed PRNGs diverged at step %d", i)
+		}
+	}
+	c := NewPRNG(43)
+	same := 0
+	a = NewPRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestPRNGIntnRange(t *testing.T) {
+	p := NewPRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := p.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestPRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	NewPRNG(1).Intn(0)
+}
+
+func TestPRNGFloat64Range(t *testing.T) {
+	p := NewPRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := p.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPRNGPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := NewPRNG(seed)
+		perm := p.Perm(32)
+		seen := make([]bool, 32)
+		for _, v := range perm {
+			if v < 0 || v >= 32 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRNGUniformity(t *testing.T) {
+	p := NewPRNG(11)
+	const buckets, draws = 8, 80000
+	var count [buckets]int
+	for i := 0; i < draws; i++ {
+		count[p.Intn(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range count {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d count %d deviates >20%% from %d", b, c, want)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	recs := []Access{
+		{PC: 0x400123, Addr: 0x7fff0040, Kind: Load, Dep: 1, Gap: 9},
+		{PC: 0x400321, Addr: 0x12345678, Kind: Store, Dep: 0, Gap: 0},
+		{PC: 0x400555, Addr: 0xdeadbeef, Kind: Load, Dep: 300, Gap: 65535},
+	}
+	var buf bytes.Buffer
+	n, err := WriteTrace(&buf, NewSliceSource(recs))
+	if err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if n != uint64(len(recs)) {
+		t.Fatalf("WriteTrace wrote %d records, want %d", n, len(recs))
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(pcs []uint64, addrs []uint64) bool {
+		n := len(pcs)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		recs := make([]Access, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Access{
+				PC:   Addr(pcs[i]),
+				Addr: Addr(addrs[i]),
+				Kind: Kind(pcs[i] % 2),
+				Dep:  uint32(addrs[i] % 100),
+				Gap:  uint16(pcs[i] % 1000),
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := WriteTrace(&buf, NewSliceSource(recs)); err != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Fatal("ReadTrace accepted garbage")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Fatal("ReadTrace accepted empty input")
+	}
+}
+
+func TestReadTraceRejectsTruncated(t *testing.T) {
+	recs := []Access{{PC: 1}, {PC: 2}}
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Fatal("ReadTrace accepted truncated file")
+	}
+}

@@ -1,0 +1,73 @@
+package mem
+
+// PRNG is a small, fast, deterministic pseudo-random number generator
+// (splitmix64 seeding into xoshiro256**-style state). Every stochastic
+// component of the simulator — workload generators, samplers, tie-breaking —
+// draws from an explicitly seeded PRNG so runs are bit-reproducible.
+type PRNG struct {
+	s [4]uint64
+}
+
+// NewPRNG returns a PRNG seeded deterministically from seed.
+func NewPRNG(seed uint64) *PRNG {
+	p := &PRNG{}
+	// splitmix64 to fill the state; avoids the all-zero state for any seed.
+	x := seed
+	for i := range p.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		p.s[i] = z ^ (z >> 31)
+	}
+	return p
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (p *PRNG) Uint64() uint64 {
+	result := rotl(p.s[1]*5, 7) * 9
+	t := p.s[1] << 17
+	p.s[2] ^= p.s[0]
+	p.s[3] ^= p.s[1]
+	p.s[1] ^= p.s[2]
+	p.s[0] ^= p.s[3]
+	p.s[2] ^= t
+	p.s[3] = rotl(p.s[3], 45)
+	return result
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (p *PRNG) Intn(n int) int {
+	if n <= 0 {
+		panic("mem.PRNG: Intn with non-positive n")
+	}
+	return int(p.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (p *PRNG) Float64() float64 {
+	return float64(p.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (p *PRNG) Perm(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Shuffle permutes s in place.
+func (p *PRNG) Shuffle(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,96 @@
+package mem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace file format (little-endian):
+//
+//	magic   [8]byte  "PROPHTRC"
+//	version uint32   (currently 1)
+//	count   uint64   number of records
+//	records count × { pc uint64, addr uint64, kind uint8, dep uint32, gap uint16 }
+//
+// The format is intentionally simple: it exists so cmd/tracegen can export
+// workloads for inspection and so traces can be replayed byte-identically.
+
+var traceMagic = [8]byte{'P', 'R', 'O', 'P', 'H', 'T', 'R', 'C'}
+
+const traceVersion = 1
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("mem: malformed trace file")
+
+// WriteTrace writes all records from src to w in the trace file format,
+// returning the number of records written.
+func WriteTrace(w io.Writer, src Source) (uint64, error) {
+	recs := Collect(src, 0)
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(traceVersion)); err != nil {
+		return 0, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(recs))); err != nil {
+		return 0, err
+	}
+	var buf [23]byte
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(r.PC))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(r.Addr))
+		buf[16] = byte(r.Kind)
+		binary.LittleEndian.PutUint32(buf[17:], r.Dep)
+		binary.LittleEndian.PutUint16(buf[21:], r.Gap)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return 0, err
+		}
+	}
+	return uint64(len(recs)), bw.Flush()
+}
+
+// ReadTrace reads an entire trace file produced by WriteTrace.
+func ReadTrace(r io.Reader) ([]Access, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, version)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	const maxReasonable = 1 << 28 // refuse absurd files rather than OOM
+	if count > maxReasonable {
+		return nil, fmt.Errorf("%w: record count %d too large", ErrBadTrace, count)
+	}
+	recs := make([]Access, 0, count)
+	var buf [23]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, i, err)
+		}
+		recs = append(recs, Access{
+			PC:   Addr(binary.LittleEndian.Uint64(buf[0:])),
+			Addr: Addr(binary.LittleEndian.Uint64(buf[8:])),
+			Kind: Kind(buf[16]),
+			Dep:  binary.LittleEndian.Uint32(buf[17:]),
+			Gap:  binary.LittleEndian.Uint16(buf[21:]),
+		})
+	}
+	return recs, nil
+}

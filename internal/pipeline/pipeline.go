@@ -1,0 +1,198 @@
+// Package pipeline orchestrates complete evaluation flows: baseline and
+// hardware-prefetcher runs, the RPG2 profile-and-tune flow, and Prophet's
+// three-step Profiling -> Analysis -> Learning loop from Figure 5.
+//
+// The package is the programmatic equivalent of the paper's methodology
+// (Section 5.1): every scheme runs the same trace on the same simulated
+// machine, differing only in the prefetching engine attached.
+package pipeline
+
+import (
+	"prophet/internal/analysis"
+	"prophet/internal/core"
+	"prophet/internal/learning"
+	"prophet/internal/mem"
+	"prophet/internal/pmu"
+	"prophet/internal/rpg2"
+	"prophet/internal/sim"
+	"prophet/internal/triage"
+	"prophet/internal/triangel"
+)
+
+// SourceFactory produces a fresh deterministic trace for each run.
+// Schemes that profile before running (RPG2, Prophet) need several passes
+// over identical traces, exactly like re-running a binary on the same input.
+type SourceFactory func() mem.Source
+
+// RunBaseline runs the system without any temporal or software prefetcher
+// (the L1 stride prefetcher of Table 1 stays on). All speedups in the
+// figures are normalized to this configuration.
+func RunBaseline(cfg sim.Config, src mem.Source) sim.Stats {
+	return sim.Run(cfg, nil, nil, nil, nil, src)
+}
+
+// RunTriage runs the Triage hardware prefetcher.
+func RunTriage(cfg sim.Config, tcfg triage.Config, src mem.Source) sim.Stats {
+	return sim.Run(cfg, triage.New(tcfg), nil, nil, nil, src)
+}
+
+// RunTriangel runs the Triangel hardware prefetcher.
+func RunTriangel(cfg sim.Config, tcfg triangel.Config, src mem.Source) sim.Stats {
+	return sim.Run(cfg, triangel.New(tcfg), nil, nil, nil, src)
+}
+
+// --- RPG2 flow ---
+
+// RPG2Result carries the RPG2 evaluation outcome.
+type RPG2Result struct {
+	Stats    sim.Stats
+	Kernels  int
+	Distance int
+}
+
+// rpg2Observer adapts the profiler to the sim observer interface, counting
+// an access as a miss when it leaves the L1 (the paper's "at least 10%
+// cache misses" qualification).
+type rpg2Observer struct{ prof *rpg2.Profiler }
+
+func (o rpg2Observer) OnDemandAccess(pc mem.Addr, line mem.Line, l1Hit, _ bool) {
+	o.prof.Observe(pc, line, !l1Hit)
+}
+
+// RunRPG2 performs the full RPG2 methodology: profile to find stride
+// kernels, tune the prefetch distance by binary search (on a shortened
+// trace), then run with the best distance. With no qualifying kernels the
+// scheme degenerates to the baseline, as on most SPEC workloads.
+func RunRPG2(cfg sim.Config, factory SourceFactory, tuneRecords uint64) RPG2Result {
+	prof := rpg2.NewProfiler()
+	// Kernel identification profiles load misses the way PEBS counts
+	// retired-load misses: without the L1 prefetcher masking them.
+	profCfg := cfg
+	profCfg.L1PF = sim.L1None
+	sim.Run(profCfg, nil, nil, nil, rpg2Observer{prof}, factory())
+	kernels := prof.Kernels(rpg2.DefaultProfileParams())
+	if len(kernels) == 0 {
+		return RPG2Result{Stats: RunBaseline(cfg, factory()), Kernels: 0, Distance: 0}
+	}
+	tuneSrc := func() mem.Source {
+		src := factory()
+		if tuneRecords > 0 {
+			src = mem.Limit(src, tuneRecords)
+		}
+		return src
+	}
+	var bestIPC float64
+	best := rpg2.TuneDistance(32, func(d int) float64 {
+		ipc := sim.Run(cfg, nil, rpg2.NewPrefetcher(kernels, d), nil, nil, tuneSrc()).IPC()
+		if ipc > bestIPC {
+			bestIPC = ipc
+		}
+		return ipc
+	})
+	// RPG2 is *robust*: prefetches that do not pay off are rolled back at
+	// runtime. If the tuned configuration loses to the plain baseline on
+	// the tuning trace, the kernels are dropped.
+	if baseTune := RunBaseline(cfg, tuneSrc()).IPC(); bestIPC <= baseTune {
+		return RPG2Result{Stats: RunBaseline(cfg, factory()), Kernels: len(kernels), Distance: 0}
+	}
+	st := sim.Run(cfg, nil, rpg2.NewPrefetcher(kernels, best), nil, nil, factory())
+	return RPG2Result{Stats: st, Kernels: len(kernels), Distance: best}
+}
+
+// --- Prophet flow (Figure 5) ---
+
+// Config bundles the Prophet pipeline parameters.
+type Config struct {
+	Sim      sim.Config
+	Prophet  core.Config
+	Analysis analysis.Params
+	// L is the Equation 4 designer parameter.
+	L int
+}
+
+// Default returns the paper's evaluated pipeline configuration.
+func Default() Config {
+	return Config{
+		Sim:      sim.Default(),
+		Prophet:  core.DefaultConfig(),
+		Analysis: analysis.DefaultParams(),
+		L:        learning.DefaultL,
+	}
+}
+
+// Prophet is the stateful pipeline: it accumulates profiles across inputs
+// (Step 3) and regenerates hints (Step 2) on demand.
+type Prophet struct {
+	cfg     Config
+	profile *learning.Profile
+	result  analysis.Result
+	fresh   bool // result reflects the current profile
+}
+
+// NewProphet starts an empty pipeline.
+func NewProphet(cfg Config) *Prophet {
+	return &Prophet{cfg: cfg, profile: learning.NewProfile(cfg.L)}
+}
+
+// Profile executes Step 1: run the input under the simplified temporal
+// prefetcher (1MB fixed table, degree 1, no insertion policy) collecting
+// PMU counters.
+func (p *Prophet) Profile(src mem.Source) *pmu.Counters {
+	counters := pmu.NewCounters(1)
+	simplified := p.cfg.Prophet
+	simplified.Degree = 1
+	simplified.Features = core.Features{}
+	engine := core.New(simplified, core.HintSet{}, nil)
+	sim.Run(p.cfg.Sim, engine, nil, counters, nil, src)
+	return counters
+}
+
+// Learn executes Step 3: merge counters into the persistent profile.
+func (p *Prophet) Learn(c *pmu.Counters) {
+	p.profile.Learn(c)
+	p.fresh = false
+}
+
+// ProfileAndLearn chains Steps 1 and 3 for one input.
+func (p *Prophet) ProfileAndLearn(src mem.Source) {
+	p.Learn(p.Profile(src))
+}
+
+// Analyze executes Step 2: generate hints from the merged profile.
+func (p *Prophet) Analyze() analysis.Result {
+	if !p.fresh {
+		p.result = analysis.Analyze(p.profile, p.cfg.Analysis)
+		p.fresh = true
+	}
+	return p.result
+}
+
+// Profile returns the persistent learning state (for inspection).
+func (p *Prophet) ProfileState() *learning.Profile { return p.profile }
+
+// Engine builds a Prophet engine from the current hints with the given
+// feature set (the Figure 19 ablation toggles features cumulatively).
+func (p *Prophet) Engine(features core.Features) *core.Prophet {
+	res := p.Analyze()
+	cfg := p.cfg.Prophet
+	cfg.Features = features
+	return core.New(cfg, res.Hints, res.Weights)
+}
+
+// Run executes the optimized binary with all Prophet features.
+func (p *Prophet) Run(src mem.Source) sim.Stats {
+	return p.RunWithFeatures(core.AllFeatures(), src)
+}
+
+// RunWithFeatures executes with a specific feature subset.
+func (p *Prophet) RunWithFeatures(features core.Features, src mem.Source) sim.Stats {
+	return sim.Run(p.cfg.Sim, p.Engine(features), nil, nil, nil, src)
+}
+
+// RunProphetDirect is the common single-input flow: profile the input once,
+// learn, analyze, and run the optimized binary on it.
+func RunProphetDirect(cfg Config, factory SourceFactory) (sim.Stats, *Prophet) {
+	p := NewProphet(cfg)
+	p.ProfileAndLearn(factory())
+	return p.Run(factory()), p
+}

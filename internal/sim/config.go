@@ -1,0 +1,88 @@
+// Package sim wires the simulated system together: the Table 1 out-of-order
+// core, the three-level cache hierarchy with its L1 prefetcher, the DRAM
+// model, an optional L2-attached temporal prefetching engine (Triage /
+// Triangel / Prophet), an optional software prefetcher (RPG2), and the PMU.
+//
+// The package owns the timing rules between components:
+//
+//   - demand accesses walk L1 -> L2 -> L3 -> DRAM, accumulating hit
+//     latencies; a hit on an in-flight fill pays the residual latency
+//     (prefetch timeliness);
+//   - temporal prefetches fill the L2, tagged with their trigger PC; the
+//     first demand touch reports a useful prefetch, an untouched eviction a
+//     useless one — feeding both the engines (Triangel's PatternConf) and
+//     the PMU (Prophet's profiling counters);
+//   - the metadata table physically occupies LLC ways: the demand-visible
+//     LLC shrinks by Engine.MetaWays(), re-synced whenever resizing acts;
+//   - every DRAM transfer — demand, prefetch, writeback — occupies channel
+//     bandwidth, so inaccurate prefetching taxes demand traffic.
+package sim
+
+import (
+	"prophet/internal/cache"
+	"prophet/internal/cpu"
+	"prophet/internal/dram"
+	"prophet/internal/prefetch"
+)
+
+// L1PrefetcherKind selects the L1 prefetcher.
+type L1PrefetcherKind uint8
+
+const (
+	// L1Stride is Table 1's degree-8 stride prefetcher.
+	L1Stride L1PrefetcherKind = iota
+	// L1IPCP is the Figure 17 IPCP-style composite prefetcher.
+	L1IPCP
+	// L1None disables L1 prefetching.
+	L1None
+)
+
+// Config is the full system configuration (Table 1).
+type Config struct {
+	Core cpu.Config
+	L1   cache.Config
+	L2   cache.Config
+	L3   cache.Config
+	DRAM dram.Config
+	L1PF L1PrefetcherKind
+	// StrideDegree is the L1 stride prefetcher degree (8 in Table 1).
+	StrideDegree int
+}
+
+// Default returns the Table 1 system configuration.
+func Default() Config {
+	return Config{
+		Core: cpu.Default(),
+		L1: cache.Config{
+			Name: "L1D", SizeBytes: 64 << 10, Ways: 4,
+			HitLatency: 2, MSHRs: 16, Policy: cache.PLRU,
+		},
+		L2: cache.Config{
+			Name: "L2", SizeBytes: 512 << 10, Ways: 8,
+			HitLatency: 9, MSHRs: 32, Policy: cache.PLRU,
+		},
+		L3: cache.Config{
+			Name: "L3", SizeBytes: 2 << 20, Ways: 16,
+			HitLatency: 20, MSHRs: 36, Policy: cache.SRRIP,
+		},
+		DRAM:         dram.Default(),
+		L1PF:         L1Stride,
+		StrideDegree: 8,
+	}
+}
+
+// newL1Prefetcher builds the configured L1 prefetcher.
+func (c Config) newL1Prefetcher() prefetch.L1Prefetcher {
+	switch c.L1PF {
+	case L1IPCP:
+		return prefetch.NewIPCP()
+	case L1None:
+		return prefetch.None{}
+	default:
+		deg := c.StrideDegree
+		if deg <= 0 {
+			deg = 8
+		}
+		return prefetch.NewStride(deg)
+	}
+}

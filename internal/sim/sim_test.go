@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"testing"
+
+	"prophet/internal/mem"
+	"prophet/internal/pmu"
+	"prophet/internal/temporal"
+)
+
+func loads(n int, pc mem.Addr, stridedLines bool) []mem.Access {
+	recs := make([]mem.Access, n)
+	for i := range recs {
+		addr := mem.Addr(i) * 64 * 128 // far apart: no L1 prefetch interference
+		if stridedLines {
+			addr = mem.Addr(i) * 64
+		}
+		recs[i] = mem.Access{PC: pc, Addr: 0x1000000 + addr, Kind: mem.Load, Gap: 3}
+	}
+	return recs
+}
+
+func TestBaselineRunProducesStats(t *testing.T) {
+	st := Run(Default(), nil, nil, nil, nil, mem.NewSliceSource(loads(2000, 0x400, false)))
+	if st.Core.MemRecords != 2000 {
+		t.Fatalf("MemRecords = %d", st.Core.MemRecords)
+	}
+	if st.Core.Instructions != 2000*4 {
+		t.Fatalf("Instructions = %d", st.Core.Instructions)
+	}
+	if st.IPC() <= 0 {
+		t.Fatal("IPC must be positive")
+	}
+	if st.DRAM.Reads == 0 {
+		t.Fatal("cold loads must reach DRAM")
+	}
+	if st.L2DemandMisses == 0 {
+		t.Fatal("cold loads must miss L2")
+	}
+}
+
+func TestRepeatedWorkingSetHitsCaches(t *testing.T) {
+	// 64 distinct lines accessed repeatedly: after warmup everything hits L1.
+	var recs []mem.Access
+	for i := 0; i < 5000; i++ {
+		recs = append(recs, mem.Access{PC: 0x400, Addr: mem.Addr(0x2000000 + (i%64)*64), Kind: mem.Load})
+	}
+	st := Run(Default(), nil, nil, nil, nil, mem.NewSliceSource(recs))
+	if st.L1.Hits < 4800 {
+		t.Fatalf("L1 hits = %d, want nearly all", st.L1.Hits)
+	}
+	if st.DRAM.Reads > 80 {
+		t.Fatalf("DRAM reads = %d for a tiny working set", st.DRAM.Reads)
+	}
+}
+
+// fixedEngine prefetches a fixed target whenever trained.
+type fixedEngine struct {
+	target  mem.Line
+	issued  int
+	useful  int
+	useless int
+	ways    int
+}
+
+func (e *fixedEngine) Name() string { return "fixed" }
+func (e *fixedEngine) OnAccess(ev temporal.AccessEvent) []mem.Line {
+	if !ev.Trainable() {
+		return nil
+	}
+	e.issued++
+	return []mem.Line{e.target}
+}
+func (e *fixedEngine) PrefetchUseful(mem.Addr, mem.Line)  { e.useful++ }
+func (e *fixedEngine) PrefetchUseless(mem.Addr, mem.Line) { e.useless++ }
+func (e *fixedEngine) MetaWays() int                      { return e.ways }
+func (e *fixedEngine) TableStats() temporal.TableStats    { return temporal.TableStats{} }
+
+func TestPrefetchUsefulFeedback(t *testing.T) {
+	target := mem.LineOf(0x9000000)
+	eng := &fixedEngine{target: target}
+	recs := []mem.Access{
+		{PC: 1, Addr: 0x1000000, Kind: mem.Load},             // miss: trains, prefetches target
+		{PC: 1, Addr: target.Addr(), Kind: mem.Load, Gap: 1}, // demand touch of the prefetched line
+	}
+	st := Run(Default(), eng, nil, nil, nil, mem.NewSliceSource(recs))
+	if st.TPIssued == 0 {
+		t.Fatal("engine prefetch not issued")
+	}
+	if st.TPUseful != 1 {
+		t.Fatalf("TPUseful = %d, want 1", st.TPUseful)
+	}
+	if eng.useful != 1 {
+		t.Fatalf("engine useful feedback = %d", eng.useful)
+	}
+}
+
+func TestPMUCountersCollected(t *testing.T) {
+	target := mem.LineOf(0x9000000)
+	eng := &fixedEngine{target: target}
+	counters := pmu.NewCounters(1)
+	recs := []mem.Access{
+		{PC: 0x400, Addr: 0x1000000, Kind: mem.Load},
+		{PC: 0x400, Addr: target.Addr(), Kind: mem.Load},
+	}
+	Run(Default(), eng, nil, counters, nil, mem.NewSliceSource(recs))
+	if counters.PC[0x400] == nil {
+		t.Fatal("no counters for the demand PC")
+	}
+	if counters.PC[0x400].L2Misses == 0 {
+		t.Fatal("L2 miss not counted")
+	}
+	if counters.PC[0x400].Issued == 0 {
+		t.Fatal("prefetch issue not attributed to trigger PC")
+	}
+	if counters.PC[0x400].Useful == 0 {
+		t.Fatal("useful prefetch not attributed")
+	}
+}
+
+func TestMetaWaysShrinkDemandLLC(t *testing.T) {
+	// With 8 metadata ways the demand LLC halves; a working set sized to
+	// the full LLC must miss more.
+	var recs []mem.Access
+	lines := 28000 // ~1.75MB: fits 2MB LLC, not 1MB
+	for p := 0; p < 3; p++ {
+		for i := 0; i < lines; i++ {
+			recs = append(recs, mem.Access{PC: 0x400, Addr: mem.Addr(0x10000000 + i*64), Kind: mem.Load})
+		}
+	}
+	full := Run(Default(), nil, nil, nil, nil, mem.NewSliceSource(recs))
+	eng := &fixedEngine{target: 1, ways: 8}
+	half := Run(Default(), eng, nil, nil, nil, mem.NewSliceSource(recs))
+	if half.DRAM.Reads <= full.DRAM.Reads {
+		t.Fatalf("metadata ways did not cost LLC capacity: %d vs %d DRAM reads",
+			half.DRAM.Reads, full.DRAM.Reads)
+	}
+}
+
+type recordingObserver struct{ n int }
+
+func (o *recordingObserver) OnDemandAccess(mem.Addr, mem.Line, bool, bool) { o.n++ }
+
+func TestObserverSeesEveryDemand(t *testing.T) {
+	obs := &recordingObserver{}
+	Run(Default(), nil, nil, nil, obs, mem.NewSliceSource(loads(500, 1, true)))
+	if obs.n != 500 {
+		t.Fatalf("observer saw %d accesses, want 500", obs.n)
+	}
+}
+
+type fixedSW struct{ line mem.Line }
+
+func (s fixedSW) OnDemand(pc mem.Addr, l mem.Line) []mem.Line { return []mem.Line{s.line} }
+
+func TestSoftwarePrefetchFills(t *testing.T) {
+	target := mem.LineOf(0x9990000)
+	recs := []mem.Access{
+		{PC: 1, Addr: 0x1000000, Kind: mem.Load},
+		{PC: 1, Addr: target.Addr(), Kind: mem.Load, Gap: 2},
+	}
+	st := Run(Default(), nil, fixedSW{target}, nil, nil, mem.NewSliceSource(recs))
+	if st.SWIssued == 0 {
+		t.Fatal("software prefetch not issued")
+	}
+	if st.TPUseful == 0 {
+		t.Fatal("software-prefetched line not useful on demand touch")
+	}
+}
+
+func TestTimelinessPartialLatency(t *testing.T) {
+	// A prefetch issued immediately before the demand cannot hide the
+	// full DRAM latency: the demand still stalls for the residual.
+	target := mem.LineOf(0x9000000)
+	eng := &fixedEngine{target: target}
+	late := []mem.Access{
+		{PC: 1, Addr: 0x1000000, Kind: mem.Load},
+		{PC: 1, Addr: target.Addr(), Kind: mem.Load}, // immediately after
+	}
+	lateStats := Run(Default(), eng, nil, nil, nil, mem.NewSliceSource(late))
+
+	eng2 := &fixedEngine{target: target}
+	early := []mem.Access{{PC: 1, Addr: 0x1000000, Kind: mem.Load}}
+	// 300 independent hits give the prefetch time to complete.
+	for i := 0; i < 300; i++ {
+		early = append(early, mem.Access{PC: 2, Addr: 0x1000000, Kind: mem.Load})
+	}
+	early = append(early, mem.Access{PC: 1, Addr: target.Addr(), Kind: mem.Load})
+	earlyStats := Run(Default(), eng2, nil, nil, nil, mem.NewSliceSource(early))
+	_ = earlyStats
+
+	// The late-prefetch run must still charge the residual latency for the
+	// second load: total cycles near one full miss (~230), far above the
+	// ~15 cycles a clean L2 hit would cost.
+	if lateStats.Core.Cycles < 200 {
+		t.Fatalf("late prefetch hid the full latency: %d cycles", lateStats.Core.Cycles)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	// Write a large footprint so dirty lines churn all the way to DRAM.
+	var recs []mem.Access
+	for i := 0; i < 80000; i++ {
+		recs = append(recs, mem.Access{PC: 1, Addr: mem.Addr(0x10000000 + i*64), Kind: mem.Store})
+	}
+	// Second pass to force eviction of the first pass's dirty lines.
+	for i := 0; i < 80000; i++ {
+		recs = append(recs, mem.Access{PC: 1, Addr: mem.Addr(0x40000000 + i*64), Kind: mem.Store})
+	}
+	st := Run(Default(), nil, nil, nil, nil, mem.NewSliceSource(recs))
+	if st.DRAM.Writes == 0 {
+		t.Fatal("dirty evictions never reached DRAM")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	mk := func() Stats {
+		eng := &fixedEngine{target: 5}
+		return Run(Default(), eng, nil, nil, nil, mem.NewSliceSource(loads(3000, 7, true)))
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Fatalf("simulation not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestConfigDefaultsMatchTable1(t *testing.T) {
+	cfg := Default()
+	if cfg.L1.SizeBytes != 64<<10 || cfg.L1.Ways != 4 {
+		t.Error("L1 geometry wrong")
+	}
+	if cfg.L2.SizeBytes != 512<<10 || cfg.L2.Ways != 8 {
+		t.Error("L2 geometry wrong")
+	}
+	if cfg.L3.SizeBytes != 2<<20 || cfg.L3.Ways != 16 {
+		t.Error("L3 geometry wrong")
+	}
+	if cfg.Core.ROB != 288 || cfg.Core.FetchWidth != 5 {
+		t.Error("core config wrong")
+	}
+	if cfg.StrideDegree != 8 {
+		t.Error("stride degree wrong")
+	}
+	if err := cfg.L1.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL1PrefetcherKinds(t *testing.T) {
+	for _, k := range []L1PrefetcherKind{L1Stride, L1IPCP, L1None} {
+		cfg := Default()
+		cfg.L1PF = k
+		if cfg.newL1Prefetcher() == nil {
+			t.Errorf("no prefetcher for kind %d", k)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"prophet/internal/cache"
+	"prophet/internal/cpu"
+	"prophet/internal/dram"
+	"prophet/internal/mem"
+	"prophet/internal/pmu"
+	"prophet/internal/prefetch"
+	"prophet/internal/temporal"
+)
+
+// SWPrefetcher is the hook for software prefetching schemes (RPG2): it sees
+// every demand access at issue and returns lines to prefetch into the L2,
+// mirroring software prefetch instructions placed next to the load.
+type SWPrefetcher interface {
+	OnDemand(pc mem.Addr, line mem.Line) []mem.Line
+}
+
+// DemandObserver receives every demand access with its L1/L2 hit outcome.
+// RPG2's profiling pass and ad-hoc experiment probes hook in here.
+type DemandObserver interface {
+	OnDemandAccess(pc mem.Addr, line mem.Line, l1Hit, l2Hit bool)
+}
+
+// Stats aggregates one run's outcome.
+type Stats struct {
+	Core cpu.Stats
+	L1   cache.Stats
+	L2   cache.Stats
+	L3   cache.Stats
+	DRAM dram.Stats
+
+	// L2 demand-side accounting (coverage metrics).
+	L2DemandAccesses uint64
+	L2DemandMisses   uint64
+
+	// Temporal-prefetcher outcome accounting.
+	TPIssued  uint64 // prefetches issued into the L2
+	TPUseful  uint64 // prefetched lines hit by demand
+	TPUseless uint64 // prefetched lines evicted untouched
+
+	// Other prefetch traffic.
+	SWIssued   uint64 // software (RPG2) prefetches issued
+	L1PFIssued uint64 // L1 prefetcher fills
+
+	// Metadata table state at end of run.
+	MetaWays   int
+	TableStats temporal.TableStats
+}
+
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 { return s.Core.IPC() }
+
+// DRAMTraffic returns total DRAM line transfers (Figure 11's metric).
+func (s Stats) DRAMTraffic() uint64 { return s.DRAM.Traffic() }
+
+// TPAccuracy returns useful/issued for the temporal prefetcher (Figure 12b).
+func (s Stats) TPAccuracy() float64 {
+	if s.TPIssued == 0 {
+		return 0
+	}
+	return float64(s.TPUseful) / float64(s.TPIssued)
+}
+
+// System is the assembled machine. It implements cpu.Memory.
+type System struct {
+	cfg  Config
+	l1   *cache.Cache
+	l2   *cache.Cache
+	l3   *cache.Cache
+	dram *dram.DRAM
+	l1pf prefetch.L1Prefetcher
+
+	engine   temporal.Engine
+	sw       SWPrefetcher
+	counters *pmu.Counters
+	observer DemandObserver
+
+	st Stats
+}
+
+// New assembles a system. engine, sw, counters and observer may each be nil.
+func New(cfg Config, engine temporal.Engine, sw SWPrefetcher, counters *pmu.Counters, observer DemandObserver) *System {
+	s := &System{
+		cfg:      cfg,
+		l1:       cache.New(cfg.L1),
+		l2:       cache.New(cfg.L2),
+		l3:       cache.New(cfg.L3),
+		dram:     dram.New(cfg.DRAM),
+		l1pf:     cfg.newL1Prefetcher(),
+		engine:   engine,
+		sw:       sw,
+		counters: counters,
+		observer: observer,
+	}
+	s.syncMetaWays(0)
+	return s
+}
+
+// syncMetaWays keeps the demand-visible LLC in step with the metadata table.
+func (s *System) syncMetaWays(now uint64) {
+	metaWays := 0
+	if s.engine != nil {
+		metaWays = s.engine.MetaWays()
+	}
+	want := s.cfg.L3.Ways - metaWays
+	if want < 0 {
+		want = 0
+	}
+	if s.l3.DemandWays() == want {
+		return
+	}
+	for _, ev := range s.l3.SetDemandWays(want) {
+		if ev.Dirty {
+			s.dram.Write(ev.Line, now)
+		}
+	}
+}
+
+// Access implements cpu.Memory for demand accesses.
+func (s *System) Access(a mem.Access, now uint64) (ready uint64, l1Miss bool) {
+	line := a.Line()
+	write := a.Kind == mem.Store
+
+	// Software prefetch instructions execute alongside the load.
+	if s.sw != nil {
+		for _, pl := range s.sw.OnDemand(a.PC, line) {
+			s.st.SWIssued++
+			s.prefetchIntoL2(pl, a.PC, now)
+		}
+	}
+
+	res := s.l1.Access(line, now, write)
+
+	// Train the L1 prefetcher on the demand stream.
+	for _, pl := range s.l1pf.OnAccess(a.PC, line, res.Hit) {
+		s.l1Prefetch(pl, a.PC, now)
+	}
+
+	if res.Hit {
+		if s.observer != nil {
+			s.observer.OnDemandAccess(a.PC, line, true, false)
+		}
+		r := now + s.cfg.L1.HitLatency
+		if res.Ready > r {
+			r = res.Ready
+		}
+		return r, false
+	}
+
+	// L1 miss: walk the hierarchy.
+	fillReady, l2Hit := s.demandFromL2(a.PC, line, now+s.cfg.L1.HitLatency)
+	if s.observer != nil {
+		s.observer.OnDemandAccess(a.PC, line, false, l2Hit)
+	}
+	// Fill L1; dirty victims write back into the L2.
+	if ev := s.l1.Insert(line, now, fillReady, write, false, 0); ev.Valid && ev.Dirty {
+		s.writebackToL2(ev.Line, now)
+	}
+	return fillReady, true
+}
+
+// demandFromL2 services a demand L2 access, returning the data-ready cycle.
+func (s *System) demandFromL2(pc mem.Addr, line mem.Line, t uint64) (ready uint64, hit bool) {
+	s.st.L2DemandAccesses++
+	res := s.l2.Access(line, t, false)
+
+	// Prefetch-outcome feedback: first demand touch of a prefetched line.
+	if res.WasPrefetch {
+		s.st.TPUseful++
+		if s.engine != nil {
+			s.engine.PrefetchUseful(res.Trigger, line)
+		}
+		if s.counters != nil {
+			s.counters.RecordUseful(res.Trigger)
+		}
+	}
+
+	// The temporal prefetcher observes the demand L2 access stream.
+	if s.engine != nil {
+		targets := s.engine.OnAccess(temporal.AccessEvent{
+			PC: pc, Line: line,
+			Hit: res.Hit, HitPrefetched: res.WasPrefetch,
+			Cycle: t,
+		})
+		for _, tl := range targets {
+			s.prefetchIntoL2(tl, pc, t)
+		}
+		s.syncMetaWays(t)
+	}
+
+	if res.Hit {
+		r := t + s.cfg.L2.HitLatency
+		if res.Ready > r {
+			r = res.Ready
+		}
+		return r, true
+	}
+
+	s.st.L2DemandMisses++
+	if s.counters != nil {
+		s.counters.RecordL2Miss(pc)
+	}
+	fillReady := s.fetchFromL3(line, t+s.cfg.L2.HitLatency)
+	s.fillL2(line, t, fillReady, false, false, 0)
+	return fillReady, false
+}
+
+// fetchFromL3 reads a line from the L3 or DRAM, filling the L3 on a miss.
+func (s *System) fetchFromL3(line mem.Line, t uint64) (ready uint64) {
+	res := s.l3.Access(line, t, false)
+	if res.Hit {
+		r := t + s.cfg.L3.HitLatency
+		if res.Ready > r {
+			r = res.Ready
+		}
+		return r
+	}
+	done := s.dram.Read(line, t+s.cfg.L3.HitLatency)
+	if ev := s.l3.Insert(line, t, done, false, false, 0); ev.Valid && ev.Dirty {
+		s.dram.Write(ev.Line, t)
+	}
+	return done
+}
+
+// fillL2 inserts a line into the L2, handling victim writeback and
+// prefetch-usefulness accounting for displaced prefetched lines.
+func (s *System) fillL2(line mem.Line, now, ready uint64, dirty, isPrefetch bool, trigger mem.Addr) {
+	ev := s.l2.Insert(line, now, ready, dirty, isPrefetch, trigger)
+	if !ev.Valid {
+		return
+	}
+	if ev.Prefetch {
+		s.st.TPUseless++
+		if s.engine != nil {
+			s.engine.PrefetchUseless(ev.Trigger, ev.Line)
+		}
+	}
+	if ev.Dirty {
+		s.writebackToL3(ev.Line, now)
+	}
+}
+
+// writebackToL2 handles a dirty L1 eviction.
+func (s *System) writebackToL2(line mem.Line, now uint64) {
+	if _, hit := s.l2.Lookup(line); hit {
+		s.l2.Access(line, now, true) // mark dirty
+		return
+	}
+	s.fillL2(line, now, now, true, false, 0)
+}
+
+// writebackToL3 handles a dirty L2 eviction.
+func (s *System) writebackToL3(line mem.Line, now uint64) {
+	if _, hit := s.l3.Lookup(line); hit {
+		s.l3.Access(line, now, true)
+		return
+	}
+	if ev := s.l3.Insert(line, now, now, true, false, 0); ev.Valid && ev.Dirty {
+		s.dram.Write(ev.Line, now)
+	}
+}
+
+// prefetchIntoL2 issues a temporal or software prefetch. Prefetches do not
+// stall the core; their fills arrive asynchronously at the computed cycle.
+func (s *System) prefetchIntoL2(line mem.Line, trigger mem.Addr, now uint64) {
+	if _, hit := s.l2.Lookup(line); hit {
+		return
+	}
+	s.st.TPIssued++
+	if s.counters != nil {
+		s.counters.RecordIssue(trigger)
+	}
+	ready := s.fetchFromL3(line, now)
+	s.fillL2(line, now, ready, false, true, trigger)
+}
+
+// l1Prefetch issues an L1 prefetcher fill, pulling the line through the
+// hierarchy without core involvement. The L2 access it causes feeds the
+// temporal prefetcher's training stream (Section 5.1).
+func (s *System) l1Prefetch(line mem.Line, trigger mem.Addr, now uint64) {
+	if _, hit := s.l1.Lookup(line); hit {
+		return
+	}
+	s.st.L1PFIssued++
+	res := s.l2.Access(line, now, false)
+	if res.WasPrefetch {
+		// An L1 prefetch touching a TP-prefetched L2 line counts as
+		// useful: the data was needed earlier in the hierarchy.
+		s.st.TPUseful++
+		if s.engine != nil {
+			s.engine.PrefetchUseful(res.Trigger, line)
+		}
+		if s.counters != nil {
+			s.counters.RecordUseful(res.Trigger)
+		}
+	}
+	var ready uint64
+	if res.Hit {
+		ready = now + s.cfg.L2.HitLatency
+		if res.Ready > ready {
+			ready = res.Ready
+		}
+	} else {
+		ready = s.fetchFromL3(line, now+s.cfg.L2.HitLatency)
+		s.fillL2(line, now, ready, false, false, 0)
+	}
+	// The temporal prefetcher trains on L1-prefetch L2 traffic too.
+	if s.engine != nil {
+		targets := s.engine.OnAccess(temporal.AccessEvent{
+			PC: trigger, Line: line,
+			Hit: res.Hit, HitPrefetched: res.WasPrefetch,
+			FromL1Prefetch: true, Cycle: now,
+		})
+		for _, tl := range targets {
+			s.prefetchIntoL2(tl, trigger, now)
+		}
+		s.syncMetaWays(now)
+	}
+	if ev := s.l1.Insert(line, now, ready, false, true, trigger); ev.Valid && ev.Dirty {
+		s.writebackToL2(ev.Line, now)
+	}
+}
+
+// Stats snapshots the run counters (call after the core finishes).
+func (s *System) Stats(coreStats cpu.Stats) Stats {
+	st := s.st
+	st.Core = coreStats
+	st.L1 = s.l1.Stats()
+	st.L2 = s.l2.Stats()
+	st.L3 = s.l3.Stats()
+	st.DRAM = s.dram.Stats()
+	if s.engine != nil {
+		st.MetaWays = s.engine.MetaWays()
+		st.TableStats = s.engine.TableStats()
+	}
+	return st
+}
+
+// Run executes a full trace on a fresh core and returns the statistics. If
+// counters were attached, the metadata-table counters are published to them.
+func Run(cfg Config, engine temporal.Engine, sw SWPrefetcher, counters *pmu.Counters, observer DemandObserver, src mem.Source) Stats {
+	sys := New(cfg, engine, sw, counters, observer)
+	coreStats := cpu.New(cfg.Core, sys).Run(src)
+	st := sys.Stats(coreStats)
+	if counters != nil && engine != nil {
+		ts := engine.TableStats()
+		counters.SetTableCounters(ts.Insertions, ts.Replacements)
+	}
+	return st
+}

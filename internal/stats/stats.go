@@ -1,0 +1,71 @@
+// Package stats provides the evaluation metrics of Section 5: IPC speedups,
+// geometric means, prefetching coverage (demand-miss reduction) and
+// accuracy, and normalized DRAM traffic.
+package stats
+
+import "math"
+
+// Geomean returns the geometric mean of xs (0 for empty or non-positive
+// input, which signals a configuration error upstream).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Speedup returns scheme/baseline (IPC ratio; Figures 10, 13-19).
+func Speedup(schemeIPC, baselineIPC float64) float64 {
+	if baselineIPC == 0 {
+		return 0
+	}
+	return schemeIPC / baselineIPC
+}
+
+// Coverage returns the demand-miss reduction relative to a baseline run
+// (Figure 12a: "Prophet reduces demand misses by 42.75%"). Negative values
+// (more misses than baseline, e.g. from pollution) clamp to 0.
+func Coverage(baselineMisses, schemeMisses uint64) float64 {
+	if baselineMisses == 0 {
+		return 0
+	}
+	if schemeMisses >= baselineMisses {
+		return 0
+	}
+	return float64(baselineMisses-schemeMisses) / float64(baselineMisses)
+}
+
+// Accuracy returns useful/issued (Figure 12b).
+func Accuracy(useful, issued uint64) float64 {
+	if issued == 0 {
+		return 0
+	}
+	return float64(useful) / float64(issued)
+}
+
+// NormalizedTraffic returns scheme DRAM traffic over baseline (Figure 11).
+func NormalizedTraffic(schemeTraffic, baselineTraffic uint64) float64 {
+	if baselineTraffic == 0 {
+		return 0
+	}
+	return float64(schemeTraffic) / float64(baselineTraffic)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if !near(Geomean([]float64{2, 8}), 4) {
+		t.Errorf("Geomean(2,8) = %v", Geomean([]float64{2, 8}))
+	}
+	if !near(Geomean([]float64{3}), 3) {
+		t.Error("single-element geomean")
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean should be 0")
+	}
+	if Geomean([]float64{1, -2}) != 0 {
+		t.Error("non-positive input should yield 0")
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		min, max := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			min = math.Min(min, xs[i])
+			max = math.Max(max, xs[i])
+		}
+		g := Geomean(xs)
+		return g >= min-1e-9 && g <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if !near(Speedup(2, 1), 2) || !near(Speedup(1, 2), 0.5) {
+		t.Error("speedup ratios wrong")
+	}
+	if Speedup(1, 0) != 0 {
+		t.Error("zero baseline should yield 0")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if !near(Coverage(100, 60), 0.4) {
+		t.Errorf("Coverage(100,60) = %v", Coverage(100, 60))
+	}
+	if Coverage(100, 120) != 0 {
+		t.Error("more misses than baseline should clamp to 0")
+	}
+	if Coverage(0, 5) != 0 {
+		t.Error("zero baseline misses")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if !near(Accuracy(3, 4), 0.75) {
+		t.Error("accuracy")
+	}
+	if Accuracy(3, 0) != 0 {
+		t.Error("zero issued")
+	}
+}
+
+func TestNormalizedTraffic(t *testing.T) {
+	if !near(NormalizedTraffic(110, 100), 1.1) {
+		t.Error("traffic normalization")
+	}
+	if NormalizedTraffic(5, 0) != 0 {
+		t.Error("zero baseline traffic")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !near(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+}

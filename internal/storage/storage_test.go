@@ -1,0 +1,61 @@
+package storage
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func kbOf(items []Item, name string) float64 {
+	for _, it := range items {
+		if it.Name == name {
+			return it.KB()
+		}
+	}
+	return -1
+}
+
+// Section 5.10's exact numbers.
+func TestProphetStorageMatchesPaper(t *testing.T) {
+	items := Prophet()
+	if got := kbOf(items, "Prophet replacement state"); got != 48 {
+		t.Errorf("replacement state = %v KB, want 48", got)
+	}
+	if got := kbOf(items, "Hint buffer"); math.Abs(got-0.19) > 0.01 {
+		t.Errorf("hint buffer = %v KB, want ~0.19", got)
+	}
+	if got := kbOf(items, "Multi-path Victim Buffer"); got != 344 {
+		t.Errorf("MVB = %v KB, want 344", got)
+	}
+}
+
+func TestTriageStorageMatchesPaper(t *testing.T) {
+	items := Triage()
+	if got := kbOf(items, "Hawkeye replacement state"); got != 13 {
+		t.Errorf("Hawkeye = %v KB, want 13 (Section 2.1.2)", got)
+	}
+	if got := kbOf(items, "Bloom-filter resizer"); got != 200 {
+		t.Errorf("Bloom = %v KB, want 200 (Section 2.1.3)", got)
+	}
+}
+
+func TestTriangelStorage(t *testing.T) {
+	items := Triangel()
+	if got := kbOf(items, "Set Dueller"); got != 2 {
+		t.Errorf("Set Dueller = %v KB, want ~2", got)
+	}
+}
+
+func TestTotalKB(t *testing.T) {
+	total := TotalKB(Prophet())
+	if math.Abs(total-(48+0.19+344)) > 0.01 {
+		t.Errorf("Prophet total = %v KB", total)
+	}
+}
+
+func TestItemString(t *testing.T) {
+	s := Item{Name: "x", Bits: 8192}.String()
+	if !strings.Contains(s, "1.00 KB") {
+		t.Errorf("Item.String = %q", s)
+	}
+}

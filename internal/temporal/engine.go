@@ -1,0 +1,182 @@
+package temporal
+
+import "prophet/internal/mem"
+
+// AccessEvent describes one L2 access presented to a temporal prefetcher.
+// Both demand requests and L1-prefetch requests flow through (Section 5.1:
+// prefetchers train on the L2 access stream including L1 prefetches).
+type AccessEvent struct {
+	// PC is the memory instruction (0 for L1-prefetch-generated traffic).
+	PC mem.Addr
+	// Line is the accessed cache line.
+	Line mem.Line
+	// Hit reports whether the access hit in the L2.
+	Hit bool
+	// HitPrefetched reports a first demand touch of a prefetched L2 line
+	// (the access is part of the miss stream the prefetcher should train
+	// on even though it technically hit).
+	HitPrefetched bool
+	// FromL1Prefetch marks L1-prefetcher-generated requests.
+	FromL1Prefetch bool
+	// Cycle is the access cycle.
+	Cycle uint64
+}
+
+// Trainable reports whether the event belongs to the training stream: the
+// L2 miss stream plus first touches of prefetched lines.
+func (ev AccessEvent) Trainable() bool { return !ev.Hit || ev.HitPrefetched }
+
+// Engine is a temporal prefetcher attached to the L2. The simulator calls
+// OnAccess for every L2 access; the engine returns the lines to prefetch
+// into the L2. Feedback about prefetch outcomes arrives through
+// PrefetchUseful / PrefetchUseless, which runtime policies (Triangel's
+// PatternConf) and the PMU both consume.
+type Engine interface {
+	// Name identifies the scheme in reports ("triage", "triangel",
+	// "prophet", ...).
+	Name() string
+	// OnAccess observes one L2 access and returns prefetch candidates.
+	OnAccess(ev AccessEvent) []mem.Line
+	// PrefetchUseful reports a demand hit on a line prefetched by this
+	// engine; pc is the trigger PC recorded at issue.
+	PrefetchUseful(trigger mem.Addr, line mem.Line)
+	// PrefetchUseless reports the eviction of a prefetched line that was
+	// never referenced by demand.
+	PrefetchUseless(trigger mem.Addr, line mem.Line)
+	// MetaWays returns the LLC ways currently held by the metadata table
+	// (the demand-visible LLC shrinks by this much).
+	MetaWays() int
+	// TableStats exposes the metadata table counters.
+	TableStats() TableStats
+}
+
+// TrainingUnit tracks, per PC, the previously accessed line so engines can
+// form (previous -> current) correlations. It is bounded like the hardware
+// structure (Triangel's training unit): a direct-mapped table indexed by PC.
+type TrainingUnit struct {
+	pcs   []mem.Addr
+	lines []mem.Line
+	valid []bool
+}
+
+// NewTrainingUnit returns a training unit with the given entry count
+// (rounded up to a power of two).
+func NewTrainingUnit(entries int) *TrainingUnit {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	return &TrainingUnit{
+		pcs:   make([]mem.Addr, n),
+		lines: make([]mem.Line, n),
+		valid: make([]bool, n),
+	}
+}
+
+func (u *TrainingUnit) slot(pc mem.Addr) int {
+	x := uint64(pc) >> 2
+	x ^= x >> 9
+	return int(x & uint64(len(u.pcs)-1))
+}
+
+// Observe records line as PC's latest access and returns the previous line
+// for the same PC, if the unit still holds it.
+func (u *TrainingUnit) Observe(pc mem.Addr, line mem.Line) (prev mem.Line, ok bool) {
+	i := u.slot(pc)
+	if u.valid[i] && u.pcs[i] == pc {
+		prev, ok = u.lines[i], true
+	}
+	u.pcs[i] = pc
+	u.lines[i] = line
+	u.valid[i] = true
+	return prev, ok
+}
+
+// Last peeks at PC's latest line without updating.
+func (u *TrainingUnit) Last(pc mem.Addr) (mem.Line, bool) {
+	i := u.slot(pc)
+	if u.valid[i] && u.pcs[i] == pc {
+		return u.lines[i], true
+	}
+	return 0, false
+}
+
+// Chase walks the Markov chain from compressed source src for up to degree
+// steps, translating targets back to lines. It is the shared prediction loop
+// of Triage, Triangel and Prophet.
+func Chase(table *Table, comp *Compressor, src uint32, degree int) []mem.Line {
+	var out []mem.Line
+	cur := src
+	for i := 0; i < degree; i++ {
+		target, ok := table.Lookup(cur)
+		if !ok {
+			break
+		}
+		line, ok := comp.Line(target)
+		if !ok {
+			break
+		}
+		out = append(out, line)
+		cur = target
+	}
+	return out
+}
+
+// ReuseBuffer is a small fully-associative cache of recently used metadata
+// (Triangel's reuse buffer). It filters repeated LLC metadata reads and
+// gives the Multi-path Victim Buffer its second lookup port. Capacity is in
+// entries; replacement is LRU.
+type ReuseBuffer struct {
+	cap   int
+	clock uint64
+	data  map[uint32]*reuseEntry
+}
+
+type reuseEntry struct {
+	target uint32
+	last   uint64
+}
+
+// NewReuseBuffer returns a reuse buffer holding up to capEntries entries.
+func NewReuseBuffer(capEntries int) *ReuseBuffer {
+	if capEntries <= 0 {
+		capEntries = 1
+	}
+	return &ReuseBuffer{cap: capEntries, data: make(map[uint32]*reuseEntry, capEntries)}
+}
+
+// Lookup returns the buffered target for src.
+func (b *ReuseBuffer) Lookup(src uint32) (uint32, bool) {
+	e, ok := b.data[src]
+	if !ok {
+		return 0, false
+	}
+	b.clock++
+	e.last = b.clock
+	return e.target, true
+}
+
+// Insert buffers src -> target, evicting the LRU entry when full.
+func (b *ReuseBuffer) Insert(src, target uint32) {
+	b.clock++
+	if e, ok := b.data[src]; ok {
+		e.target = target
+		e.last = b.clock
+		return
+	}
+	if len(b.data) >= b.cap {
+		var lruKey uint32
+		var lruT uint64
+		first := true
+		for k, e := range b.data {
+			if first || e.last < lruT {
+				lruKey, lruT, first = k, e.last, false
+			}
+		}
+		delete(b.data, lruKey)
+	}
+	b.data[src] = &reuseEntry{target: target, last: b.clock}
+}
+
+// Len returns the number of buffered entries.
+func (b *ReuseBuffer) Len() int { return len(b.data) }

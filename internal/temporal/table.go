@@ -1,0 +1,407 @@
+package temporal
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Policy selects the metadata-table replacement policy.
+type Policy uint8
+
+const (
+	// MetaLRU evicts the least-recently-used entry in the set.
+	MetaLRU Policy = iota
+	// MetaSRRIP is the 2-bit RRIP policy Triangel uses for metadata.
+	MetaSRRIP
+	// ProphetPriority implements the paper's profile-guided replacement:
+	// victim candidates are the entries with the lowest hint priority, and
+	// the runtime policy's state (RRIP, falling back to recency) chooses
+	// the final victim among them (Section 4.2).
+	ProphetPriority
+	// MetaHawkeye is the Hawkeye-style predictor the original Triage used
+	// (Section 2.1.2): premature evictions mark entries cache-friendly and
+	// protect them on re-insertion (see hawkeye.go).
+	MetaHawkeye
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case MetaLRU:
+		return "meta-lru"
+	case MetaSRRIP:
+		return "meta-srrip"
+	case ProphetPriority:
+		return "prophet-priority"
+	case MetaHawkeye:
+		return "meta-hawkeye"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// TableConfig describes the metadata table geometry.
+type TableConfig struct {
+	// Sets mirrors the host LLC's set count (2048 for the Table 1 LLC).
+	Sets int
+	// EntriesPerWay is how many packed entries one LLC way contributes per
+	// set (12 compressed entries per 64-byte line).
+	EntriesPerWay int
+	// MaxWays caps the LLC ways the table may claim (8 ways = 1MB).
+	MaxWays int
+	// Policy selects victim selection.
+	Policy Policy
+}
+
+// DefaultTableConfig matches the Table 1 LLC with the paper's 1MB cap.
+func DefaultTableConfig() TableConfig {
+	return TableConfig{Sets: 2048, EntriesPerWay: 12, MaxWays: 8, Policy: MetaSRRIP}
+}
+
+// EntriesPerWayTotal is the total entries one way contributes across sets.
+func (c TableConfig) EntriesPerWayTotal() int { return c.Sets * c.EntriesPerWay }
+
+// MaxEntries is the capacity at MaxWays.
+func (c TableConfig) MaxEntries() int { return c.MaxWays * c.EntriesPerWayTotal() }
+
+const tagBits = 10
+const tagMask = 1<<tagBits - 1
+
+// Entry is one Markov metadata entry: a 10-bit tag identifying the source
+// line within its set and the 31-bit compressed target that followed it.
+type Entry struct {
+	Tag      uint16
+	Target   uint32
+	Priority uint8 // Prophet replacement state (2 bits)
+	valid    bool
+	rrpv     uint8
+	last     uint64
+}
+
+// Evicted describes a metadata entry displaced from the table.
+type Evicted struct {
+	Set      int
+	Tag      uint16
+	Target   uint32
+	Priority uint8
+	Valid    bool
+}
+
+// SrcKey reconstructs the (truncated) compressed source index of the evicted
+// entry from its set and tag. This is the key the Multi-path Victim Buffer
+// indexes with; like the hardware it is lossy beyond set+tag bits.
+func (e Evicted) SrcKey(cfg TableConfig) uint32 {
+	return uint32(e.Tag)<<uint(bits.TrailingZeros(uint(cfg.Sets))) | uint32(e.Set)
+}
+
+// TableStats counts metadata-table events. Insertions - Replacements is the
+// "allocated entries" PMU metric of Section 4.1.
+type TableStats struct {
+	Lookups      uint64
+	Hits         uint64
+	Insertions   uint64
+	Updates      uint64
+	Replacements uint64
+}
+
+// AllocatedEntries returns insertions minus replacements (Section 4.1).
+func (s TableStats) AllocatedEntries() uint64 {
+	if s.Replacements >= s.Insertions {
+		return 0
+	}
+	return s.Insertions - s.Replacements
+}
+
+// Table is the in-LLC Markov metadata table. It is associativity-resizable:
+// its capacity is ways x Sets x EntriesPerWay and changing ways is how
+// resizing policies trade metadata capacity against demand LLC capacity.
+type Table struct {
+	cfg     TableConfig
+	ways    int
+	setBits uint
+	sets    [][]Entry
+	clock   uint64
+	stats   TableStats
+	hawkeye *hawkeyeState // non-nil for MetaHawkeye
+}
+
+// NewTable builds a table with the given initial ways. It panics on invalid
+// geometry (static configuration error).
+func NewTable(cfg TableConfig, ways int) *Table {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic("temporal: table sets must be a positive power of two")
+	}
+	if cfg.EntriesPerWay <= 0 || cfg.MaxWays <= 0 {
+		panic("temporal: non-positive table geometry")
+	}
+	if ways < 0 {
+		ways = 0
+	}
+	if ways > cfg.MaxWays {
+		ways = cfg.MaxWays
+	}
+	t := &Table{
+		cfg:     cfg,
+		ways:    ways,
+		setBits: uint(bits.TrailingZeros(uint(cfg.Sets))),
+		sets:    make([][]Entry, cfg.Sets),
+	}
+	if cfg.Policy == MetaHawkeye {
+		t.hawkeye = newHawkeyeState()
+	}
+	return t
+}
+
+// Config returns the table geometry.
+func (t *Table) Config() TableConfig { return t.cfg }
+
+// Ways returns the LLC ways currently allocated to metadata.
+func (t *Table) Ways() int { return t.ways }
+
+// Capacity returns the current entry capacity.
+func (t *Table) Capacity() int { return t.ways * t.cfg.Sets * t.cfg.EntriesPerWay }
+
+// Stats returns a copy of the table counters.
+func (t *Table) Stats() TableStats { return t.stats }
+
+// Live returns the number of valid entries (for occupancy accounting).
+func (t *Table) Live() int {
+	n := 0
+	for _, s := range t.sets {
+		for _, e := range s {
+			if e.valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (t *Table) locate(src uint32) (set int, tag uint16) {
+	set = int(src & uint32(t.cfg.Sets-1))
+	tag = uint16((src >> t.setBits) & tagMask)
+	return set, tag
+}
+
+// Lookup searches for the metadata of compressed source index src and
+// returns its target. A hit promotes the entry in the replacement state.
+func (t *Table) Lookup(src uint32) (target uint32, ok bool) {
+	t.stats.Lookups++
+	set, tag := t.locate(src)
+	for i := range t.sets[set] {
+		e := &t.sets[set][i]
+		if e.valid && e.Tag == tag {
+			t.stats.Hits++
+			t.clock++
+			e.rrpv = 0
+			e.last = t.clock
+			return e.Target, true
+		}
+	}
+	return 0, false
+}
+
+// Peek is Lookup without replacement-state side effects.
+func (t *Table) Peek(src uint32) (target uint32, ok bool) {
+	set, tag := t.locate(src)
+	for i := range t.sets[set] {
+		e := &t.sets[set][i]
+		if e.valid && e.Tag == tag {
+			return e.Target, true
+		}
+	}
+	return 0, false
+}
+
+// Insert records the correlation src -> target with the given Prophet
+// priority (0 when unused). If the table has zero capacity the insert is
+// dropped. The displaced metadata, if any, is returned for victim-buffer
+// handling; this includes the old target of an in-place update — when a
+// source gains a new successor, its previous successor is exactly the
+// "Markov target evicted from the metadata table" the Multi-path Victim
+// Buffer exists to keep (Section 4.5).
+func (t *Table) Insert(src, target uint32, priority uint8) Evicted {
+	capPerSet := t.ways * t.cfg.EntriesPerWay
+	if capPerSet == 0 {
+		return Evicted{}
+	}
+	set, tag := t.locate(src)
+	entries := t.sets[set]
+	t.clock++
+	// Existing entry: update target in place, reporting the displaced
+	// target if it changed.
+	for i := range entries {
+		e := &entries[i]
+		if e.valid && e.Tag == tag {
+			ev := Evicted{}
+			if e.Target != target {
+				ev = Evicted{Set: set, Tag: e.Tag, Target: e.Target, Priority: e.Priority, Valid: true}
+			}
+			e.Target = target
+			e.Priority = priority
+			e.rrpv = 0
+			e.last = t.clock
+			t.stats.Updates++
+			return ev
+		}
+	}
+	t.stats.Insertions++
+	insertRRPV := uint8(srripInsertRRPV)
+	if t.hawkeye != nil {
+		// Hawkeye classification: prematurely evicted tags come back
+		// protected; unknown tags come in cache-averse.
+		if t.hawkeye.friendly(set, tag) {
+			insertRRPV = 0
+		} else {
+			insertRRPV = srripMaxRRPV
+		}
+	}
+	// Free slot?
+	for i := range entries {
+		if !entries[i].valid {
+			entries[i] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: t.clock}
+			return Evicted{}
+		}
+	}
+	if len(entries) < capPerSet {
+		t.sets[set] = append(entries, Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: t.clock})
+		return Evicted{}
+	}
+	// Replacement.
+	vi := t.victim(entries)
+	ev := Evicted{Set: set, Tag: entries[vi].Tag, Target: entries[vi].Target, Priority: entries[vi].Priority, Valid: true}
+	if t.hawkeye != nil {
+		t.hawkeye.observeEviction(set, entries[vi].Tag)
+	}
+	entries[vi] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: t.clock}
+	t.stats.Replacements++
+	return ev
+}
+
+const (
+	srripMaxRRPV    = 3
+	srripInsertRRPV = 2
+)
+
+// victim selects the entry to replace within a full set according to the
+// configured policy.
+func (t *Table) victim(entries []Entry) int {
+	switch t.cfg.Policy {
+	case MetaLRU:
+		return victimLRU(entries, nil)
+	case MetaSRRIP, MetaHawkeye:
+		return victimSRRIP(entries, nil)
+	case ProphetPriority:
+		// Candidates: entries with the lowest priority level; the
+		// runtime policy (RRIP state) picks among them (Section 3.1:
+		// "the Prophet Replacement Policy first generates candidate
+		// victims for the Runtime Replacement Policy, which then
+		// chooses the final victim").
+		minPrio := entries[0].Priority
+		for _, e := range entries[1:] {
+			if e.Priority < minPrio {
+				minPrio = e.Priority
+			}
+		}
+		cand := make([]bool, len(entries))
+		for i := range entries {
+			cand[i] = entries[i].Priority == minPrio
+		}
+		return victimSRRIP(entries, cand)
+	}
+	panic("temporal: unknown table policy " + t.cfg.Policy.String())
+}
+
+func victimLRU(entries []Entry, cand []bool) int {
+	best := -1
+	for i := range entries {
+		if cand != nil && !cand[i] {
+			continue
+		}
+		if best < 0 || entries[i].last < entries[best].last {
+			best = i
+		}
+	}
+	return best
+}
+
+func victimSRRIP(entries []Entry, cand []bool) int {
+	for {
+		for i := range entries {
+			if cand != nil && !cand[i] {
+				continue
+			}
+			if entries[i].rrpv >= srripMaxRRPV {
+				return i
+			}
+		}
+		aged := false
+		for i := range entries {
+			if cand != nil && !cand[i] {
+				continue
+			}
+			if entries[i].rrpv < srripMaxRRPV {
+				entries[i].rrpv++
+				aged = true
+			}
+		}
+		if !aged {
+			// All candidates already at max but loop missed them
+			// (defensive); fall back to recency.
+			return victimLRU(entries, cand)
+		}
+	}
+}
+
+// Resize changes the allocated ways, evicting surplus entries (victims chosen
+// by the configured policy) when shrinking. Evicted entries are returned so
+// resizing can feed the victim buffer.
+func (t *Table) Resize(ways int) []Evicted {
+	if ways < 0 {
+		ways = 0
+	}
+	if ways > t.cfg.MaxWays {
+		ways = t.cfg.MaxWays
+	}
+	var evs []Evicted
+	if ways < t.ways {
+		capPerSet := ways * t.cfg.EntriesPerWay
+		for set := range t.sets {
+			for countValid(t.sets[set]) > capPerSet {
+				vi := t.victim(t.sets[set])
+				e := &t.sets[set][vi]
+				evs = append(evs, Evicted{Set: set, Tag: e.Tag, Target: e.Target, Priority: e.Priority, Valid: true})
+				e.valid = false
+				e.rrpv = srripMaxRRPV
+				e.last = 0
+				// Compact: drop trailing invalid entries.
+				t.sets[set] = compact(t.sets[set], capPerSet)
+			}
+		}
+	}
+	t.ways = ways
+	return evs
+}
+
+func countValid(entries []Entry) int {
+	n := 0
+	for i := range entries {
+		if entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+func compact(entries []Entry, capPerSet int) []Entry {
+	out := entries[:0]
+	for i := range entries {
+		if entries[i].valid {
+			out = append(out, entries[i])
+		}
+	}
+	if len(out) > capPerSet && capPerSet >= 0 {
+		// Caller evicts one at a time; just return the live entries.
+		return out
+	}
+	return out
+}

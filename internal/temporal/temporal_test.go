@@ -1,0 +1,390 @@
+package temporal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prophet/internal/mem"
+)
+
+func smallTable(policy Policy) TableConfig {
+	return TableConfig{Sets: 16, EntriesPerWay: 2, MaxWays: 4, Policy: policy}
+}
+
+func TestCompressorRoundTrip(t *testing.T) {
+	c := NewCompressor()
+	lines := []mem.Line{100, 200, 100, 300}
+	idx := make([]uint32, len(lines))
+	for i, l := range lines {
+		idx[i] = c.Index(l)
+	}
+	if idx[0] != idx[2] {
+		t.Fatal("same line produced different indices")
+	}
+	if idx[0] == idx[1] || idx[1] == idx[3] {
+		t.Fatal("distinct lines share an index")
+	}
+	for i, l := range lines {
+		got, ok := c.Line(idx[i])
+		if !ok || got != l {
+			t.Fatalf("Line(%d) = %v,%v want %v", idx[i], got, ok, l)
+		}
+	}
+	if c.Entries() != 3 {
+		t.Fatalf("Entries = %d, want 3", c.Entries())
+	}
+}
+
+func TestCompressorLookupNoAllocate(t *testing.T) {
+	c := NewCompressor()
+	if _, ok := c.Lookup(42); ok {
+		t.Fatal("Lookup invented a mapping")
+	}
+	if c.Entries() != 0 {
+		t.Fatal("Lookup allocated")
+	}
+	c.Index(42)
+	if idx, ok := c.Lookup(42); !ok || idx != 0 {
+		t.Fatalf("Lookup after Index = %v,%v", idx, ok)
+	}
+}
+
+func TestCompressorSequentialAssignment(t *testing.T) {
+	c := NewCompressor()
+	for i := 0; i < 100; i++ {
+		if got := c.Index(mem.Line(1000 + i)); got != uint32(i) {
+			t.Fatalf("index %d assigned %d", i, got)
+		}
+	}
+}
+
+func TestTableInsertLookup(t *testing.T) {
+	tb := NewTable(smallTable(MetaLRU), 4)
+	tb.Insert(5, 99, 0)
+	got, ok := tb.Lookup(5)
+	if !ok || got != 99 {
+		t.Fatalf("Lookup(5) = %d,%v want 99,true", got, ok)
+	}
+	if _, ok := tb.Lookup(6); ok {
+		t.Fatal("Lookup(6) hit on empty slot")
+	}
+	st := tb.Stats()
+	if st.Lookups != 2 || st.Hits != 1 || st.Insertions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTableUpdateInPlace(t *testing.T) {
+	tb := NewTable(smallTable(MetaLRU), 4)
+	tb.Insert(5, 99, 0)
+	// Updating with a new target displaces the old target (which feeds
+	// the Multi-path Victim Buffer).
+	ev := tb.Insert(5, 77, 2)
+	if !ev.Valid || ev.Target != 99 {
+		t.Fatalf("update displaced %+v, want old target 99", ev)
+	}
+	got, _ := tb.Lookup(5)
+	if got != 77 {
+		t.Fatalf("target after update = %d, want 77", got)
+	}
+	// Re-inserting the same target displaces nothing.
+	if ev := tb.Insert(5, 77, 2); ev.Valid {
+		t.Fatalf("same-target update displaced %+v", ev)
+	}
+	st := tb.Stats()
+	if st.Insertions != 1 || st.Updates != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTableCapacityAndReplacement(t *testing.T) {
+	cfg := smallTable(MetaLRU)
+	tb := NewTable(cfg, 1) // 2 entries per set
+	// Sources 0, 16, 32 map to set 0 with distinct tags.
+	tb.Insert(0, 1, 0)
+	tb.Insert(16, 2, 0)
+	ev := tb.Insert(32, 3, 0)
+	if !ev.Valid {
+		t.Fatal("full set insert did not evict")
+	}
+	if tb.Stats().Replacements != 1 {
+		t.Fatalf("replacements = %d", tb.Stats().Replacements)
+	}
+	if live := tb.Live(); live != 2 {
+		t.Fatalf("live entries = %d, want 2", live)
+	}
+}
+
+func TestTableLRUVictim(t *testing.T) {
+	cfg := smallTable(MetaLRU)
+	tb := NewTable(cfg, 1)
+	tb.Insert(0, 1, 0)
+	tb.Insert(16, 2, 0)
+	tb.Lookup(0) // 0 recently used; 16 is LRU
+	ev := tb.Insert(32, 3, 0)
+	if !ev.Valid || ev.Target != 2 {
+		t.Fatalf("LRU evicted %+v, want the entry with target 2", ev)
+	}
+}
+
+func TestTableProphetPriorityVictim(t *testing.T) {
+	cfg := smallTable(ProphetPriority)
+	tb := NewTable(cfg, 1)
+	tb.Insert(0, 1, 3)  // high priority
+	tb.Insert(16, 2, 0) // low priority
+	tb.Lookup(16)       // recently used, but priority dominates
+	ev := tb.Insert(32, 3, 2)
+	if !ev.Valid || ev.Target != 2 {
+		t.Fatalf("Prophet policy evicted %+v, want the low-priority entry (target 2)", ev)
+	}
+	// High-priority entry survives.
+	if got, ok := tb.Lookup(0); !ok || got != 1 {
+		t.Fatal("high-priority entry was evicted")
+	}
+}
+
+func TestTableZeroWaysDropsInserts(t *testing.T) {
+	tb := NewTable(smallTable(MetaSRRIP), 0)
+	ev := tb.Insert(1, 2, 0)
+	if ev.Valid || tb.Live() != 0 {
+		t.Fatal("zero-capacity table accepted an insert")
+	}
+	if _, ok := tb.Lookup(1); ok {
+		t.Fatal("zero-capacity table returned a hit")
+	}
+}
+
+func TestTableResizeShrinkEvicts(t *testing.T) {
+	cfg := smallTable(MetaLRU)
+	tb := NewTable(cfg, 4) // 8 entries per set
+	// Fill set 0 with 8 entries (sources 0,16,...,112).
+	for i := 0; i < 8; i++ {
+		tb.Insert(uint32(16*i), uint32(i+1), 0)
+	}
+	evs := tb.Resize(1) // down to 2 entries per set
+	if len(evs) != 6 {
+		t.Fatalf("shrink evicted %d entries, want 6", len(evs))
+	}
+	if tb.Live() != 2 {
+		t.Fatalf("live after shrink = %d, want 2", tb.Live())
+	}
+	if tb.Ways() != 1 {
+		t.Fatalf("ways = %d", tb.Ways())
+	}
+	if tb.Capacity() != cfg.Sets*cfg.EntriesPerWay {
+		t.Fatalf("capacity = %d", tb.Capacity())
+	}
+}
+
+func TestTableResizeClamps(t *testing.T) {
+	tb := NewTable(smallTable(MetaLRU), 2)
+	tb.Resize(99)
+	if tb.Ways() != 4 {
+		t.Fatalf("ways = %d, want clamped 4", tb.Ways())
+	}
+	tb.Resize(-1)
+	if tb.Ways() != 0 {
+		t.Fatalf("ways = %d, want 0", tb.Ways())
+	}
+}
+
+func TestAllocatedEntries(t *testing.T) {
+	s := TableStats{Insertions: 10, Replacements: 3}
+	if s.AllocatedEntries() != 7 {
+		t.Fatalf("AllocatedEntries = %d", s.AllocatedEntries())
+	}
+	s = TableStats{Insertions: 2, Replacements: 5}
+	if s.AllocatedEntries() != 0 {
+		t.Fatal("AllocatedEntries should clamp at 0")
+	}
+}
+
+func TestDefaultGeometryMatchesPaper(t *testing.T) {
+	cfg := DefaultTableConfig()
+	if cfg.MaxEntries() != 196608 {
+		t.Fatalf("1MB table = %d entries, want 196608 (Section 5.10)", cfg.MaxEntries())
+	}
+	if cfg.EntriesPerWayTotal() != 24576 {
+		t.Fatalf("one way = %d entries, want 24576", cfg.EntriesPerWayTotal())
+	}
+}
+
+func TestEvictedSrcKey(t *testing.T) {
+	cfg := DefaultTableConfig() // 2048 sets -> 11 set bits
+	e := Evicted{Set: 5, Tag: 3}
+	if got := e.SrcKey(cfg); got != 3<<11|5 {
+		t.Fatalf("SrcKey = %d, want %d", got, 3<<11|5)
+	}
+}
+
+func TestChase(t *testing.T) {
+	tb := NewTable(smallTable(MetaLRU), 4)
+	comp := NewCompressor()
+	// Build chain A -> B -> C -> D.
+	lines := []mem.Line{1000, 2000, 3000, 4000}
+	var idx []uint32
+	for _, l := range lines {
+		idx = append(idx, comp.Index(l))
+	}
+	for i := 0; i+1 < len(idx); i++ {
+		tb.Insert(idx[i], idx[i+1], 0)
+	}
+	got := Chase(tb, comp, idx[0], 4)
+	if len(got) != 3 {
+		t.Fatalf("Chase found %d lines, want 3", len(got))
+	}
+	for i, want := range lines[1:] {
+		if got[i] != want {
+			t.Errorf("chase step %d = %v, want %v", i, got[i], want)
+		}
+	}
+	if got := Chase(tb, comp, idx[0], 2); len(got) != 2 {
+		t.Fatalf("degree-2 chase returned %d lines", len(got))
+	}
+}
+
+func TestTrainingUnit(t *testing.T) {
+	u := NewTrainingUnit(64)
+	if _, ok := u.Observe(1, 100); ok {
+		t.Fatal("first observation returned a previous line")
+	}
+	prev, ok := u.Observe(1, 200)
+	if !ok || prev != 100 {
+		t.Fatalf("Observe = %v,%v want 100,true", prev, ok)
+	}
+	if last, ok := u.Last(1); !ok || last != 200 {
+		t.Fatalf("Last = %v,%v", last, ok)
+	}
+	if _, ok := u.Last(999); ok {
+		t.Fatal("Last hit for unknown PC")
+	}
+}
+
+func TestTrainingUnitConflict(t *testing.T) {
+	u := NewTrainingUnit(4)
+	u.Observe(0x10, 1)
+	// A conflicting PC evicts the old entry.
+	conflict := mem.Addr(0x10 + 4*4)
+	if u.slot(0x10) != u.slot(conflict) {
+		t.Skip("hash changed; aliasing assumption broken")
+	}
+	u.Observe(conflict, 2)
+	if _, ok := u.Last(0x10); ok {
+		t.Fatal("evicted PC still present")
+	}
+}
+
+func TestReuseBuffer(t *testing.T) {
+	b := NewReuseBuffer(2)
+	b.Insert(1, 10)
+	b.Insert(2, 20)
+	if v, ok := b.Lookup(1); !ok || v != 10 {
+		t.Fatalf("Lookup(1) = %v,%v", v, ok)
+	}
+	// 2 is now LRU; inserting 3 evicts it.
+	b.Insert(3, 30)
+	if _, ok := b.Lookup(2); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if v, ok := b.Lookup(1); !ok || v != 10 {
+		t.Fatalf("MRU entry lost: %v,%v", v, ok)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Insert(1, 11) // update in place
+	if v, _ := b.Lookup(1); v != 11 {
+		t.Fatal("update in place failed")
+	}
+}
+
+func TestTargetHistogram(t *testing.T) {
+	h := NewTargetHistogram(5)
+	// src 1: one target; src 2: two; src 3: three.
+	h.Observe(1, 10)
+	h.Observe(1, 10)
+	h.Observe(2, 10)
+	h.Observe(2, 20)
+	h.Observe(3, 10)
+	h.Observe(3, 20)
+	h.Observe(3, 30)
+	f := h.Fractions()
+	want := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3, 0, 0}
+	for i := range want {
+		if diff := f[i] - want[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("fraction[%d] = %v, want %v", i, f[i], want[i])
+		}
+	}
+	if h.Sources() != 3 {
+		t.Fatalf("Sources = %d", h.Sources())
+	}
+}
+
+func TestTargetHistogramClamp(t *testing.T) {
+	h := NewTargetHistogram(2)
+	for i := 0; i < 10; i++ {
+		h.Observe(1, uint64(i))
+	}
+	f := h.Fractions()
+	if f[1] != 1.0 {
+		t.Fatalf("clamped bucket = %v, want 1.0", f[1])
+	}
+}
+
+func TestTargetHistogramEmpty(t *testing.T) {
+	h := NewTargetHistogram(3)
+	for _, v := range h.Fractions() {
+		if v != 0 {
+			t.Fatal("empty histogram has non-zero fractions")
+		}
+	}
+}
+
+// Property: the table never exceeds capacity and lookups after insert find
+// the most recent target, for arbitrary operation sequences.
+func TestTableInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := mem.NewPRNG(seed)
+		cfg := smallTable(Policy(seed % 3))
+		tb := NewTable(cfg, 1+int(seed%4))
+		latest := map[uint32]uint32{}
+		for i := 0; i < 3000; i++ {
+			src := uint32(rng.Intn(256))
+			switch rng.Intn(3) {
+			case 0:
+				target := uint32(rng.Intn(1 << 20))
+				tb.Insert(src, target, uint8(rng.Intn(4)))
+				latest[src] = target
+			case 1:
+				if got, ok := tb.Lookup(src); ok {
+					// A hit must return the latest inserted
+					// target for a source with that tag...
+					// unless a tag alias overwrote it; with
+					// 16 sets and srcs < 256 there are no
+					// tag aliases (tag = src>>4 < 16).
+					if want, seen := latest[src]; seen && got != want {
+						return false
+					}
+				}
+			case 2:
+				tb.Resize(rng.Intn(cfg.MaxWays + 1))
+			}
+			if tb.Live() > tb.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if MetaLRU.String() == "" || MetaSRRIP.String() == "" || ProphetPriority.String() == "" {
+		t.Fatal("policies must have names")
+	}
+	if Policy(77).String() == "" {
+		t.Fatal("unknown policy should still format")
+	}
+}

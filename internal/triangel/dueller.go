@@ -1,0 +1,139 @@
+package triangel
+
+import (
+	"prophet/internal/mem"
+	"prophet/internal/temporal"
+)
+
+// dueller is the Set Dueller resizing monitor (Section 2.1.3): it samples a
+// subset of cache sets and maintains, for both the demand LLC and the
+// metadata table, Mattson stack-distance histograms over full-associativity
+// shadow tags. At each epoch it picks the way partition that maximizes the
+// estimated combined hit utility — "simulating various partitioning
+// configurations for the cache and the Markov table, evaluating their
+// respective hit rates" with ~2KB of sampled state in hardware.
+//
+// Sampling only a few sets is precisely why the estimate can lag program
+// behaviour; the Prophet paper observes the resulting allocations are often
+// too conservative on omnetpp and mcf. That emerges here naturally: the
+// histograms describe the previous epoch, not the future.
+type dueller struct {
+	tableCfg   temporal.TableConfig
+	metaWeight float64
+
+	sampleMask uint64 // LLC sets sampled (1/64)
+	llcSets    map[uint64][]mem.Line
+	llcHist    []float64 // hits by stack position (way)
+	llcMisses  float64
+
+	metaSets   map[uint32][]uint32
+	metaHist   []float64 // hits by stack position in way-granularity
+	metaMisses float64
+}
+
+const (
+	duellerLLCWays = 16
+	duellerDecay   = 0.5
+	sampleShift    = 6 // sample 1/64 of sets
+)
+
+func newDueller(tableCfg temporal.TableConfig, metaWeight float64) *dueller {
+	return &dueller{
+		tableCfg:   tableCfg,
+		metaWeight: metaWeight,
+		llcSets:    make(map[uint64][]mem.Line),
+		llcHist:    make([]float64, duellerLLCWays),
+		metaSets:   make(map[uint32][]uint32),
+		metaHist:   make([]float64, tableCfg.MaxWays),
+	}
+}
+
+// observeLLC feeds a demand LLC access (an L2 miss) into the LLC monitor.
+func (d *dueller) observeLLC(l mem.Line) {
+	set := uint64(l) & 2047
+	if set&(1<<sampleShift-1) != 0 {
+		return
+	}
+	stack := d.llcSets[set]
+	pos := -1
+	for i, x := range stack {
+		if x == l {
+			pos = i
+			break
+		}
+	}
+	if pos >= 0 {
+		if pos < len(d.llcHist) {
+			d.llcHist[pos]++
+		}
+		stack = append(stack[:pos], stack[pos+1:]...)
+	} else {
+		d.llcMisses++
+	}
+	stack = append([]mem.Line{l}, stack...)
+	if len(stack) > duellerLLCWays {
+		stack = stack[:duellerLLCWays]
+	}
+	d.llcSets[set] = stack
+}
+
+// observeMeta feeds a metadata insertion/access into the metadata monitor.
+func (d *dueller) observeMeta(src uint32) {
+	set := src & 2047
+	if set&(1<<sampleShift-1) != 0 {
+		return
+	}
+	stack := d.metaSets[set]
+	pos := -1
+	for i, x := range stack {
+		if x == src {
+			pos = i
+			break
+		}
+	}
+	entriesPerWay := d.tableCfg.EntriesPerWay
+	if pos >= 0 {
+		way := pos / entriesPerWay
+		if way < len(d.metaHist) {
+			d.metaHist[way]++
+		}
+		stack = append(stack[:pos], stack[pos+1:]...)
+	} else {
+		d.metaMisses++
+	}
+	stack = append([]uint32{src}, stack...)
+	if max := entriesPerWay * d.tableCfg.MaxWays; len(stack) > max {
+		stack = stack[:max]
+	}
+	d.metaSets[set] = stack
+}
+
+// choose returns the metadata way allocation maximizing estimated utility:
+// sum of LLC hits with (16 - w) ways plus weighted metadata hits with w ways.
+// Histograms decay afterwards so stale phases age out.
+func (d *dueller) choose(current int) int {
+	best, bestVal := current, -1.0
+	maxMeta := d.tableCfg.MaxWays
+	for w := 0; w <= maxMeta; w++ {
+		llcWays := duellerLLCWays - w
+		val := 0.0
+		for i := 0; i < llcWays && i < len(d.llcHist); i++ {
+			val += d.llcHist[i]
+		}
+		for i := 0; i < w && i < len(d.metaHist); i++ {
+			val += d.metaWeight * d.metaHist[i]
+		}
+		if val > bestVal {
+			best, bestVal = w, val
+		}
+	}
+	for i := range d.llcHist {
+		d.llcHist[i] *= duellerDecay
+	}
+	for i := range d.metaHist {
+		d.metaHist[i] *= duellerDecay
+	}
+	d.llcMisses *= duellerDecay
+	d.metaMisses *= duellerDecay
+	return best
+}

@@ -1,0 +1,374 @@
+// Package triangel implements the Triangel temporal prefetcher (Ainsworth &
+// Mukhanov, ISCA'24), the state-of-the-art hardware baseline of the Prophet
+// paper. Triangel extends Triage with
+//
+//   - an insertion filter driven by two 4-bit confidence counters per memory
+//     instruction: PatternConf (do this PC's accesses repeat their successor
+//     relationships?) and ReuseConf (do its lines recur within the metadata
+//     table's reach?). Training and insertion are rejected when the counters
+//     fall below threshold — the short-term behaviour Figure 1 of the
+//     Prophet paper shows mis-firing on interleaved useful/useless patterns;
+//   - SRRIP replacement for the metadata table (replacing Triage's Hawkeye);
+//   - Set-Dueller resizing: sampled shadow utility monitors for both the
+//     demand LLC and the metadata table decide the way partition each epoch;
+//   - aggressive chained prefetching (degree 4), which Triangel's own
+//     ablation credits with most of its speedup.
+//
+// PatternConf is trained by a history sampler: a bounded FIFO of sampled
+// (address -> successor) pairs. When a sampled address recurs, the observed
+// successor is compared against the recorded one (+1 match, -1 mismatch).
+// Prefetch outcome feedback (useful +1 / evicted-unused -1) adds the "blue
+// dot / red dot" signal of Figure 1. ReuseConf is trained by a reuse
+// sampler: sampled lines that recur within the table's entry capacity raise
+// it, samples that expire unreferenced lower it.
+package triangel
+
+import (
+	"prophet/internal/mem"
+	"prophet/internal/temporal"
+)
+
+// Config parameterizes Triangel.
+type Config struct {
+	// Degree is the Markov chain-walk prefetch degree (4: "aggressive").
+	Degree int
+	// Ways is the initial metadata allocation in LLC ways.
+	Ways int
+	// Table is the metadata-table geometry.
+	Table temporal.TableConfig
+	// PatternThreshold gates insertion on PatternConf (0..15 counter).
+	PatternThreshold int8
+	// ReuseThreshold gates insertion on ReuseConf (0..15 counter).
+	ReuseThreshold int8
+	// SetDueller enables utility-monitor resizing.
+	SetDueller bool
+	// ResizeEpoch is the number of trainable accesses between resizes.
+	ResizeEpoch uint64
+	// MetaHitWeight scales metadata utility against LLC hit utility when
+	// the Set Dueller partitions ways. Weights below 1 reproduce
+	// Triangel's conservative allocations on omnetpp/mcf.
+	MetaHitWeight float64
+}
+
+// Default returns the configuration used throughout the evaluation.
+func Default() Config {
+	tc := temporal.DefaultTableConfig()
+	tc.Policy = temporal.MetaSRRIP
+	return Config{
+		Degree:           4,
+		Ways:             tc.MaxWays,
+		Table:            tc,
+		PatternThreshold: 8,
+		ReuseThreshold:   6,
+		SetDueller:       true,
+		ResizeEpoch:      100_000,
+		MetaHitWeight:    0.8,
+	}
+}
+
+const (
+	confMax  = 15 // 4-bit counters
+	confInit = 8
+
+	patternSamplerCap = 2048
+	reuseSamplerCap   = 4096
+)
+
+// pcState is the per-memory-instruction training state.
+type pcState struct {
+	pc          mem.Addr
+	valid       bool
+	patternConf int8
+	reuseConf   int8
+}
+
+type patternSample struct {
+	line     mem.Line
+	expected mem.Line
+	pc       mem.Addr
+	valid    bool
+}
+
+type reuseSample struct {
+	line  mem.Line
+	pc    mem.Addr
+	tick  uint64
+	valid bool
+}
+
+// Prefetcher is the Triangel engine.
+type Prefetcher struct {
+	cfg   Config
+	table *temporal.Table
+	comp  *temporal.Compressor
+	train *temporal.TrainingUnit
+	pcs   []pcState // direct-mapped by PC, like the training unit
+
+	// History sampler (PatternConf).
+	patRing  []patternSample
+	patHead  int
+	patIndex map[mem.Line]int // line -> ring slot
+
+	// Reuse sampler (ReuseConf).
+	reuseRing  []reuseSample
+	reuseHead  int
+	reuseTail  int
+	reuseCount int
+	reuseIndex map[mem.Line]int
+	accessTick uint64
+
+	dueller *dueller
+}
+
+// New builds a Triangel prefetcher.
+func New(cfg Config) *Prefetcher {
+	if cfg.Degree <= 0 {
+		cfg.Degree = 1
+	}
+	p := &Prefetcher{
+		cfg:        cfg,
+		table:      temporal.NewTable(cfg.Table, cfg.Ways),
+		comp:       temporal.NewCompressor(),
+		train:      temporal.NewTrainingUnit(1024),
+		pcs:        make([]pcState, 1024),
+		patRing:    make([]patternSample, patternSamplerCap),
+		patIndex:   make(map[mem.Line]int, patternSamplerCap),
+		reuseRing:  make([]reuseSample, reuseSamplerCap),
+		reuseIndex: make(map[mem.Line]int, reuseSamplerCap),
+	}
+	if cfg.SetDueller {
+		p.dueller = newDueller(cfg.Table, cfg.MetaHitWeight)
+	}
+	return p
+}
+
+// Name implements temporal.Engine.
+func (p *Prefetcher) Name() string { return "triangel" }
+
+func (p *Prefetcher) pcSlot(pc mem.Addr) *pcState {
+	x := uint64(pc) >> 2
+	x ^= x >> 9
+	st := &p.pcs[x&uint64(len(p.pcs)-1)]
+	if !st.valid || st.pc != pc {
+		*st = pcState{pc: pc, valid: true, patternConf: confInit, reuseConf: confInit}
+	}
+	return st
+}
+
+// sampleHash picks the deterministic sampling subsets.
+func sampleHash(l mem.Line) uint64 {
+	x := uint64(l)
+	x ^= x >> 13
+	x *= 0x9e3779b97f4a7c15
+	return x >> 32
+}
+
+// OnAccess implements temporal.Engine.
+func (p *Prefetcher) OnAccess(ev temporal.AccessEvent) []mem.Line {
+	if !ev.Trainable() {
+		return nil
+	}
+	p.accessTick++
+	cur := p.comp.Index(ev.Line)
+
+	if p.dueller != nil {
+		p.dueller.observeLLC(ev.Line)
+	}
+	p.expireReuseSamples()
+
+	if ev.PC != 0 {
+		st := p.pcSlot(ev.PC)
+		p.observeReuse(ev.PC, ev.Line, st)
+		if prev, ok := p.train.Observe(ev.PC, ev.Line); ok && prev != ev.Line {
+			p.checkPatternSample(prev, ev.Line)
+			p.maybeAddPatternSample(ev.PC, prev, ev.Line)
+			// Insertion filter (Section 2.1.1): both confidence
+			// counters must clear their thresholds.
+			if st.patternConf >= p.cfg.PatternThreshold && st.reuseConf >= p.cfg.ReuseThreshold {
+				src := p.comp.Index(prev)
+				p.table.Insert(src, cur, 0)
+				if p.dueller != nil {
+					p.dueller.observeMeta(src)
+				}
+			}
+		}
+	}
+
+	p.maybeResize()
+	// Aggressiveness control: the chained degree-4 walk is only worth its
+	// bandwidth when the triggering instruction's pattern confidence is
+	// high; low-confidence triggers fall back to degree 1.
+	degree := p.cfg.Degree
+	if ev.PC != 0 && p.pcSlot(ev.PC).patternConf < p.cfg.PatternThreshold {
+		degree = 1
+	}
+	return temporal.Chase(p.table, p.comp, cur, degree)
+}
+
+// checkPatternSample confirms or refutes a recorded (prev -> ?) sample.
+func (p *Prefetcher) checkPatternSample(prev, cur mem.Line) {
+	slot, ok := p.patIndex[prev]
+	if !ok {
+		return
+	}
+	s := p.patRing[slot]
+	if !s.valid || s.line != prev {
+		delete(p.patIndex, prev)
+		return
+	}
+	st := p.pcSlot(s.pc)
+	if s.expected == cur {
+		if st.patternConf < confMax {
+			st.patternConf++
+		}
+	} else if st.patternConf > 0 {
+		st.patternConf--
+	}
+	delete(p.patIndex, prev)
+	p.patRing[slot] = patternSample{}
+}
+
+// maybeAddPatternSample records (prev -> cur) for a sampled subset of
+// addresses. The ring overwrites oldest samples; an overwritten sample was
+// simply never re-observed within the window and carries no penalty (the
+// reuse sampler provides that signal).
+func (p *Prefetcher) maybeAddPatternSample(pc mem.Addr, prev, cur mem.Line) {
+	if sampleHash(prev)&63 != 0 { // sample 1/64 of addresses
+		return
+	}
+	if _, ok := p.patIndex[prev]; ok {
+		return
+	}
+	old := p.patRing[p.patHead]
+	if old.valid {
+		delete(p.patIndex, old.line)
+	}
+	p.patRing[p.patHead] = patternSample{line: prev, expected: cur, pc: pc, valid: true}
+	p.patIndex[prev] = p.patHead
+	p.patHead = (p.patHead + 1) % len(p.patRing)
+}
+
+// observeReuse feeds the reuse sampler: a sampled line recurring within the
+// table's entry capacity is evidence the PC's pattern fits the table.
+func (p *Prefetcher) observeReuse(pc mem.Addr, line mem.Line, st *pcState) {
+	window := uint64(p.table.Config().MaxEntries())
+	if slot, ok := p.reuseIndex[line]; ok {
+		s := p.reuseRing[slot]
+		if s.valid && s.line == line {
+			if p.accessTick-s.tick <= window {
+				if st.reuseConf < confMax {
+					st.reuseConf++
+				}
+			} else if st.reuseConf > 0 {
+				st.reuseConf--
+			}
+			delete(p.reuseIndex, line)
+			p.reuseRing[slot] = reuseSample{}
+		}
+	}
+	if sampleHash(line)>>6&63 != 0 { // sample 1/64 of lines
+		return
+	}
+	if _, ok := p.reuseIndex[line]; ok {
+		return
+	}
+	if p.reuseCount >= len(p.reuseRing) {
+		// Capacity overflow carries no penalty: the sample simply fell
+		// out of the monitoring window. Only expiry (the line provably
+		// failed to recur within table reach) lowers ReuseConf.
+		p.dropOldestReuse(false)
+	}
+	p.reuseRing[p.reuseTail] = reuseSample{line: line, pc: pc, tick: p.accessTick, valid: true}
+	p.reuseIndex[line] = p.reuseTail
+	p.reuseTail = (p.reuseTail + 1) % len(p.reuseRing)
+	p.reuseCount++
+}
+
+// expireReuseSamples retires samples older than the table window, lowering
+// the sampling PC's ReuseConf: the line did not recur within reach.
+func (p *Prefetcher) expireReuseSamples() {
+	window := uint64(p.table.Config().MaxEntries())
+	for p.reuseCount > 0 {
+		s := p.reuseRing[p.reuseHead]
+		if !s.valid { // hole left by a confirmed sample
+			p.reuseHead = (p.reuseHead + 1) % len(p.reuseRing)
+			p.reuseCount--
+			continue
+		}
+		if p.accessTick-s.tick <= window {
+			return
+		}
+		p.dropOldestReuse(true)
+	}
+}
+
+// dropOldestReuse pops the head sample; penalize lowers its PC's ReuseConf.
+func (p *Prefetcher) dropOldestReuse(penalize bool) {
+	s := p.reuseRing[p.reuseHead]
+	if s.valid {
+		delete(p.reuseIndex, s.line)
+		if penalize {
+			st := p.pcSlot(s.pc)
+			if st.reuseConf > 0 {
+				st.reuseConf--
+			}
+		}
+	}
+	p.reuseRing[p.reuseHead] = reuseSample{}
+	p.reuseHead = (p.reuseHead + 1) % len(p.reuseRing)
+	p.reuseCount--
+}
+
+// PrefetchUseful implements temporal.Engine: a useful prefetch raises the
+// trigger PC's PatternConf (a blue dot in Figure 1).
+func (p *Prefetcher) PrefetchUseful(trigger mem.Addr, _ mem.Line) {
+	if trigger == 0 {
+		return
+	}
+	st := p.pcSlot(trigger)
+	if st.patternConf < confMax {
+		st.patternConf++
+	}
+}
+
+// PrefetchUseless implements temporal.Engine: an evicted-unused prefetch
+// lowers the trigger PC's PatternConf (a red dot in Figure 1).
+func (p *Prefetcher) PrefetchUseless(trigger mem.Addr, _ mem.Line) {
+	if trigger == 0 {
+		return
+	}
+	st := p.pcSlot(trigger)
+	if st.patternConf > 0 {
+		st.patternConf--
+	}
+}
+
+func (p *Prefetcher) maybeResize() {
+	if p.dueller == nil {
+		return
+	}
+	if p.accessTick%p.cfg.ResizeEpoch != 0 {
+		return
+	}
+	ways := p.dueller.choose(p.table.Ways())
+	if ways != p.table.Ways() {
+		p.table.Resize(ways)
+	}
+}
+
+// MetaWays implements temporal.Engine.
+func (p *Prefetcher) MetaWays() int { return p.table.Ways() }
+
+// TableStats implements temporal.Engine.
+func (p *Prefetcher) TableStats() temporal.TableStats { return p.table.Stats() }
+
+// Table exposes the metadata table for tests.
+func (p *Prefetcher) Table() *temporal.Table { return p.table }
+
+// PatternConf exposes a PC's confidence counter for tests and Figure 1.
+func (p *Prefetcher) PatternConf(pc mem.Addr) int8 { return p.pcSlot(pc).patternConf }
+
+// ReuseConf exposes a PC's reuse confidence for tests.
+func (p *Prefetcher) ReuseConf(pc mem.Addr) int8 { return p.pcSlot(pc).reuseConf }
+
+var _ temporal.Engine = (*Prefetcher)(nil)

@@ -1,0 +1,403 @@
+// Package workloads provides the synthetic SPEC-CPU-like irregular
+// workloads of the evaluation. Real SPEC traces are not redistributable, so
+// each workload is a parameterized generator reproducing the memory-access
+// *character* the paper's results depend on (see DESIGN.md §4): pointer
+// chasing, interleaved useful/useless temporal patterns, multi-path Markov
+// sequences, computed (non-stride) prefetch kernels, metadata footprints
+// above and below the 1MB table, and bandwidth sensitivity.
+//
+// A workload is a weighted interleaving of pattern streams. Every stream
+// owns one instruction PC and one address region, so per-PC training in the
+// prefetchers sees exactly the stream's pattern, and profile-guided hints
+// attach to meaningful instructions. All randomness is seeded; the same
+// workload name always produces bit-identical traces.
+package workloads
+
+import (
+	"fmt"
+
+	"prophet/internal/mem"
+)
+
+// PatternKind classifies a stream's access pattern.
+type PatternKind uint8
+
+const (
+	// Temporal is a repeating irregular sequence of lines — the solvable
+	// temporal pattern hardware prefetchers target.
+	Temporal PatternKind = iota
+	// NoisyTemporal interleaves a temporal sequence with same-PC random
+	// accesses: Figure 1's blue/red interleaving that defeats PatternConf.
+	NoisyTemporal
+	// PointerChase is a repeating traversal whose loads serialize
+	// (Dep = previous record of the stream): linked structures.
+	PointerChase
+	// IndirectStride is a[b[i]] with a strided index kernel: the RPG2-
+	// friendly pattern dominating CRONO-style code.
+	IndirectStride
+	// IndirectComputed is a[f(i)] with a non-stride, data-dependent
+	// kernel (mcf's pattern): temporal-solvable, RPG2-unsolvable.
+	IndirectComputed
+	// RandomAccess has no pattern at all: prefetching it only wastes
+	// bandwidth and metadata (the EL_ACC filter's target).
+	RandomAccess
+	// MultiPath is a temporal sequence where branch points alternate
+	// between successors across passes — multiple Markov targets
+	// (Section 4.5, Figure 8).
+	MultiPath
+	// StreamScan is a sequential sweep the L1 stride prefetcher covers.
+	StreamScan
+)
+
+// String names the pattern.
+func (k PatternKind) String() string {
+	switch k {
+	case Temporal:
+		return "temporal"
+	case NoisyTemporal:
+		return "noisy-temporal"
+	case PointerChase:
+		return "pointer-chase"
+	case IndirectStride:
+		return "indirect-stride"
+	case IndirectComputed:
+		return "indirect-computed"
+	case RandomAccess:
+		return "random"
+	case MultiPath:
+		return "multi-path"
+	case StreamScan:
+		return "stream"
+	}
+	return fmt.Sprintf("PatternKind(%d)", uint8(k))
+}
+
+// PatternSpec describes one stream of a workload.
+type PatternSpec struct {
+	// Kind selects the pattern.
+	Kind PatternKind
+	// Weight is the stream's share of memory records.
+	Weight float64
+	// SeqLines is the temporal sequence length in lines (patterns with a
+	// sequence); also the index-array length for indirect kinds.
+	SeqLines int
+	// NoiseRatio is the same-PC random-access fraction (NoisyTemporal).
+	NoiseRatio float64
+	// Paths is the successor count at branch points (MultiPath).
+	Paths int
+	// Gap is the non-memory instruction count between accesses.
+	Gap int
+	// StoreRatio is the fraction of accesses that are stores.
+	StoreRatio float64
+	// PCSeed differentiates otherwise-identical streams; streams with
+	// equal PCSeed across workload variants share PC and region (the
+	// "Load A/E" sharing of Figure 7). 0 derives it from position.
+	PCSeed uint64
+	// SeqSeed seeds sequence generation; equal seeds give identical
+	// sequences (hint transfer across inputs). 0 derives from PCSeed.
+	SeqSeed uint64
+	// Serial forces address dependence on the stream's previous record
+	// even for kinds that are not inherently chained (e.g. MultiPath
+	// pivot chains): the core then serializes the stream's misses.
+	Serial bool
+	// Clones expands the spec into this many independent streams with
+	// distinct PCs and regions, splitting Weight evenly (0/1 = one).
+	// Clone PCs derive deterministically from PCSeed, so cloned streams
+	// still share hints across workload variants.
+	Clones int
+}
+
+// Spec is a complete workload description.
+type Spec struct {
+	// Name identifies the workload ("mcf", "gcc_166", ...).
+	Name string
+	// Seed drives the interleaving schedule.
+	Seed uint64
+	// Patterns are the component streams.
+	Patterns []PatternSpec
+	// Records is the default trace length in memory records.
+	Records uint64
+}
+
+// pcFor derives the stream's instruction address from its seed.
+func pcFor(seed uint64) mem.Addr { return mem.Addr(0x400000 + seed*0x40) }
+
+// regionFor derives the stream's address-region base line from its seed.
+// Regions are 1M lines (64MB) apart, far larger than any stream needs.
+func regionFor(seed uint64) mem.Line { return mem.Line(1<<24 + seed*(1<<20)) }
+
+// stream is the per-pattern generator state.
+type stream struct {
+	spec   PatternSpec
+	pc     mem.Addr
+	region mem.Line
+	rng    *mem.PRNG
+
+	seq []mem.Line // temporal order (Temporal/Noisy/Pointer/MultiPath)
+	pos int
+	// MultiPath branch variants: variants[p][b] is the line used at
+	// branch b on passes where pass%Paths == p.
+	variants [][]mem.Line
+	pass     int
+	// Indirect kinds.
+	idx        []int // index-array values (line offsets into the region)
+	iter       int
+	kernelPC   mem.Addr
+	kernelBase mem.Line
+	emitData   bool
+	lastKnown  mem.Line
+}
+
+const (
+	// kernelElemsPerLine: 8 8-byte indices per 64B line, so the kernel PC
+	// touches a new line every 8 iterations (a 12.5%+ miss ratio, enough
+	// to qualify for RPG2).
+	kernelElemsPerLine = 8
+	// branchEvery: MultiPath sequences branch at every 4th element.
+	branchEvery = 4
+	// noiseSpanLines: the region span used for noise/random accesses.
+	noiseSpanLines = 1 << 19 // 32MB of lines
+)
+
+func newStream(i int, sp PatternSpec, wlSeed uint64) *stream {
+	pcSeed := sp.PCSeed
+	if pcSeed == 0 {
+		pcSeed = wlSeed*131 + uint64(i) + 1
+	}
+	seqSeed := sp.SeqSeed
+	if seqSeed == 0 {
+		seqSeed = pcSeed
+	}
+	s := &stream{
+		spec:   sp,
+		pc:     pcFor(pcSeed),
+		region: regionFor(pcSeed % 4096),
+		rng:    mem.NewPRNG(seqSeed*0x9e37 + 17),
+	}
+	n := sp.SeqLines
+	if n <= 0 {
+		n = 1024
+	}
+	switch sp.Kind {
+	case Temporal, NoisyTemporal, PointerChase:
+		s.seq = permutedLines(s.region, n, mem.NewPRNG(seqSeed))
+	case MultiPath:
+		s.seq = permutedLines(s.region, n, mem.NewPRNG(seqSeed))
+		paths := sp.Paths
+		if paths < 2 {
+			paths = 2
+		}
+		branches := n / branchEvery
+		s.variants = make([][]mem.Line, paths)
+		vr := mem.NewPRNG(seqSeed + 7)
+		for p := range s.variants {
+			s.variants[p] = make([]mem.Line, branches)
+			for b := range s.variants[p] {
+				if p == 0 {
+					// Path 0 keeps the base sequence line.
+					s.variants[p][b] = s.seq[b*branchEvery+branchEvery-1]
+				} else {
+					s.variants[p][b] = s.region + mem.Line(n+vr.Intn(n))
+				}
+			}
+		}
+	case IndirectStride, IndirectComputed:
+		s.idx = make([]int, n)
+		ir := mem.NewPRNG(seqSeed + 3)
+		for i := range s.idx {
+			s.idx[i] = ir.Intn(n)
+		}
+		s.kernelPC = s.pc + 8
+		s.kernelBase = s.region + mem.Line(2*n)
+	}
+	return s
+}
+
+// permutedLines returns a deterministic pseudo-random visit order over n
+// lines starting at base.
+func permutedLines(base mem.Line, n int, rng *mem.PRNG) []mem.Line {
+	perm := rng.Perm(n)
+	out := make([]mem.Line, n)
+	for i, p := range perm {
+		out[i] = base + mem.Line(p)
+	}
+	return out
+}
+
+// emit produces the stream's next access. serial reports whether the record
+// depends on the stream's previous record.
+func (s *stream) emit() (a mem.Access, serial bool) {
+	sp := s.spec
+	kind := mem.Load
+	if sp.StoreRatio > 0 && s.rng.Float64() < sp.StoreRatio {
+		kind = mem.Store
+	}
+	gap := sp.Gap
+	if gap > 0 {
+		gap += s.rng.Intn(3)
+	}
+	base := mem.Access{PC: s.pc, Kind: kind, Gap: uint16(gap)}
+
+	switch sp.Kind {
+	case Temporal, NoisyTemporal:
+		if sp.NoiseRatio > 0 && s.rng.Float64() < sp.NoiseRatio {
+			base.Addr = (s.region + mem.Line(len(s.seq)*2+s.rng.Intn(noiseSpanLines))).Addr()
+			return base, sp.Serial
+		}
+		base.Addr = s.seq[s.pos].Addr()
+		s.advance()
+		return base, sp.Serial
+	case PointerChase:
+		base.Addr = s.seq[s.pos].Addr()
+		s.advance()
+		if sp.NoiseRatio > 0 && s.rng.Float64() < sp.NoiseRatio {
+			base.Addr = (s.region + mem.Line(len(s.seq)*2+s.rng.Intn(noiseSpanLines))).Addr()
+		}
+		return base, true
+	case MultiPath:
+		line := s.seq[s.pos]
+		if (s.pos+1)%branchEvery == 0 {
+			b := s.pos / branchEvery
+			p := (s.pass + b) % len(s.variants)
+			if b < len(s.variants[p]) {
+				line = s.variants[p][b]
+			}
+		}
+		base.Addr = line.Addr()
+		s.advance()
+		return base, sp.Serial
+	case IndirectStride:
+		if s.emitData {
+			s.emitData = false
+			base.Addr = (s.region + mem.Line(s.idx[s.iter%len(s.idx)])).Addr()
+			s.iter++
+			return base, true // a[b[i]] depends on the kernel load
+		}
+		s.emitData = true
+		base.PC = s.kernelPC
+		base.Addr = (s.kernelBase + mem.Line(s.iter/kernelElemsPerLine)).Addr()
+		if s.iter/kernelElemsPerLine >= 1<<18 {
+			s.iter = 0 // wrap the kernel sweep
+		}
+		return base, false
+	case IndirectComputed:
+		if s.emitData {
+			s.emitData = false
+			base.Addr = (s.region + mem.Line(s.idx[s.iter%len(s.idx)])).Addr()
+			s.iter++
+			return base, true
+		}
+		s.emitData = true
+		base.PC = s.kernelPC
+		// Computed kernel: the kernel address itself hops irregularly
+		// (multi-step arithmetic in mcf), so neither stride prefetcher
+		// nor RPG2 can cover it — but the hop order repeats, so
+		// temporal prefetching can.
+		base.Addr = (s.kernelBase + mem.Line(s.idx[(s.iter*7+3)%len(s.idx)])).Addr()
+		return base, true
+	case RandomAccess:
+		base.Addr = (s.region + mem.Line(s.rng.Intn(noiseSpanLines))).Addr()
+		return base, false
+	case StreamScan:
+		wrap := sp.SeqLines
+		if wrap <= 0 {
+			wrap = 1 << 18
+		}
+		base.Addr = (s.region + mem.Line(s.pos)).Addr()
+		s.pos = (s.pos + 1) % wrap
+		return base, false
+	}
+	base.Addr = s.region.Addr()
+	return base, false
+}
+
+func (s *stream) advance() {
+	s.pos++
+	if s.pos >= len(s.seq) {
+		s.pos = 0
+		s.pass++
+	}
+}
+
+// Generator interleaves a workload's streams into one trace.
+type Generator struct {
+	streams []*stream
+	cum     []float64 // cumulative weights for stream selection
+	rng     *mem.PRNG
+	lastIdx []uint64 // global record index of each stream's last record
+	count   uint64
+	limit   uint64
+}
+
+// NewGenerator builds a deterministic trace source for spec, producing
+// records memory records (spec.Records when records == 0).
+func NewGenerator(spec Spec, records uint64) *Generator {
+	if records == 0 {
+		records = spec.Records
+	}
+	g := &Generator{
+		rng:     mem.NewPRNG(spec.Seed),
+		lastIdx: make([]uint64, len(spec.Patterns)),
+		limit:   records,
+	}
+	expanded := make([]PatternSpec, 0, len(spec.Patterns))
+	for i, p := range spec.Patterns {
+		n := p.Clones
+		if n < 1 {
+			n = 1
+		}
+		base := p.PCSeed
+		if base == 0 {
+			base = spec.Seed*131 + uint64(i) + 1
+		}
+		for c := 0; c < n; c++ {
+			cp := p
+			cp.Weight = p.Weight / float64(n)
+			cp.PCSeed = base + uint64(c)*7001
+			if p.SeqSeed != 0 {
+				cp.SeqSeed = p.SeqSeed + uint64(c)*7001
+			}
+			expanded = append(expanded, cp)
+		}
+	}
+	g.lastIdx = make([]uint64, len(expanded))
+	total := 0.0
+	for _, p := range expanded {
+		total += p.Weight
+	}
+	acc := 0.0
+	for i, p := range expanded {
+		g.streams = append(g.streams, newStream(i, p, spec.Seed))
+		acc += p.Weight / total
+		g.cum = append(g.cum, acc)
+	}
+	return g
+}
+
+// Next implements mem.Source.
+func (g *Generator) Next() (mem.Access, bool) {
+	if g.count >= g.limit || len(g.streams) == 0 {
+		return mem.Access{}, false
+	}
+	r := g.rng.Float64()
+	idx := len(g.streams) - 1
+	for i, c := range g.cum {
+		if r < c {
+			idx = i
+			break
+		}
+	}
+	a, serial := g.streams[idx].emit()
+	g.count++
+	if serial && g.lastIdx[idx] > 0 {
+		dep := g.count - g.lastIdx[idx]
+		if dep > 4096 {
+			dep = 0 // too far back to matter; treat as independent
+		}
+		a.Dep = uint32(dep)
+	}
+	g.lastIdx[idx] = g.count
+	return a, true
+}
+
+var _ mem.Source = (*Generator)(nil)

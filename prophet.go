@@ -1,0 +1,297 @@
+// Package prophet is the public API of the Prophet reproduction: a
+// profile-guided temporal prefetching framework (Li et al., ISCA 2025)
+// implemented on top of a trace-driven CPU/cache/DRAM simulator.
+//
+// The package exposes three layers:
+//
+//   - Workload catalog: the SPEC-CPU-like irregular workloads and
+//     CRONO-style graph workloads of the paper's evaluation, resolved by
+//     name (Workload, Catalog).
+//   - Scheme runners: execute a workload under the no-temporal-prefetching
+//     baseline, the Triage and Triangel hardware prefetchers, the RPG2
+//     software prefetching baseline, or Prophet (Evaluate*).
+//   - The Prophet pipeline: the Figure 5 loop — Profile inputs with the
+//     simplified prefetcher, Learn counters across inputs, Analyze into an
+//     optimized Binary, and Run it (Pipeline, Binary).
+//
+// Everything is deterministic: the same calls return bit-identical results.
+//
+// Quickstart:
+//
+//	w, _ := prophet.Find("omnetpp")
+//	p := prophet.NewPipeline(prophet.DefaultOptions())
+//	p.ProfileInput(w)
+//	bin := p.Optimize()
+//	r := p.RunBinary(bin, w)
+//	fmt.Printf("Prophet speedup: %.2fx\n", r.Speedup)
+package prophet
+
+import (
+	"fmt"
+
+	"prophet/internal/core"
+	"prophet/internal/experiments"
+	"prophet/internal/graphs"
+	"prophet/internal/mem"
+	"prophet/internal/pipeline"
+	"prophet/internal/sim"
+	"prophet/internal/stats"
+	"prophet/internal/triage"
+	"prophet/internal/triangel"
+	"prophet/internal/workloads"
+)
+
+// Workload identifies a runnable workload from the catalog.
+type Workload struct {
+	// Name is the catalog identifier ("mcf", "gcc_166", "bfs_100000_16").
+	Name string
+	// Records is the trace length in memory records (0 = catalog default).
+	Records uint64
+
+	factory pipeline.SourceFactory
+}
+
+// Catalog lists every available workload name: the SPEC-like set, all gcc /
+// astar / soplex inputs, and the CRONO graph workloads.
+func Catalog() []string {
+	var out []string
+	for _, w := range workloads.All() {
+		out = append(out, w.Name)
+	}
+	for _, g := range graphs.CRONO() {
+		out = append(out, g.Name)
+	}
+	return out
+}
+
+// Find resolves a workload by name. Graph workloads follow the
+// algorithm_nodes_param grammar and need not be in the CRONO set.
+func Find(name string) (Workload, error) {
+	if w, ok := workloads.Get(name); ok {
+		return Workload{Name: name, factory: func() mem.Source { return w.Source(0) }}, nil
+	}
+	if g, err := graphs.Parse(name); err == nil {
+		return Workload{Name: name, factory: func() mem.Source { return g.Source(0) }}, nil
+	}
+	return Workload{}, fmt.Errorf("prophet: unknown workload %q", name)
+}
+
+// WithRecords returns a copy of the workload with an explicit trace length.
+func (w Workload) WithRecords(records uint64) Workload {
+	out := w
+	out.Records = records
+	if wl, ok := workloads.Get(w.Name); ok {
+		out.factory = func() mem.Source { return wl.Source(records) }
+	} else if g, err := graphs.Parse(w.Name); err == nil {
+		out.factory = func() mem.Source { return g.Source(records) }
+	}
+	return out
+}
+
+func (w Workload) sourceFactory() pipeline.SourceFactory {
+	if w.factory == nil {
+		resolved, err := Find(w.Name)
+		if err != nil {
+			panic(err)
+		}
+		return resolved.factory
+	}
+	return w.factory
+}
+
+// Options configure the simulated system and the Prophet pipeline.
+type Options struct {
+	// ELAcc is the Equation 1 insertion threshold (default 0.15).
+	ELAcc float64
+	// PriorityBits is Equation 2's n (default 2).
+	PriorityBits int
+	// MVBCandidates is the victim-buffer alternate budget (default 1).
+	MVBCandidates int
+	// LearningL is Equation 4's L (default 4).
+	LearningL int
+	// DRAMChannels widens memory bandwidth (default 1, Table 1).
+	DRAMChannels int
+	// IPCPPrefetcher replaces the L1 stride prefetcher with the IPCP-style
+	// composite (Figure 17).
+	IPCPPrefetcher bool
+}
+
+// DefaultOptions returns the paper's evaluated configuration.
+func DefaultOptions() Options {
+	return Options{ELAcc: 0.15, PriorityBits: 2, MVBCandidates: 1, LearningL: 4, DRAMChannels: 1}
+}
+
+func (o Options) pipelineConfig() pipeline.Config {
+	cfg := pipeline.Default()
+	if o.ELAcc > 0 {
+		cfg.Analysis.ELAcc = o.ELAcc
+	}
+	if o.PriorityBits > 0 {
+		cfg.Analysis.PriorityBits = o.PriorityBits
+	}
+	if o.MVBCandidates > 0 {
+		cfg.Prophet.MVBCandidates = o.MVBCandidates
+	}
+	if o.LearningL > 0 {
+		cfg.L = o.LearningL
+	}
+	if o.DRAMChannels > 1 {
+		cfg.Sim.DRAM.Channels = o.DRAMChannels
+	}
+	if o.IPCPPrefetcher {
+		cfg.Sim.L1PF = sim.L1IPCP
+	}
+	return cfg
+}
+
+// RunStats summarizes one simulation run.
+type RunStats struct {
+	// IPC is instructions per cycle.
+	IPC float64
+	// Speedup is IPC relative to the no-temporal-prefetching baseline on
+	// the same trace (1.0 for the baseline itself).
+	Speedup float64
+	// DRAMTraffic is total DRAM line transfers.
+	DRAMTraffic uint64
+	// NormalizedTraffic is DRAMTraffic relative to the baseline.
+	NormalizedTraffic float64
+	// Coverage is the demand-miss reduction vs the baseline.
+	Coverage float64
+	// Accuracy is useful/issued prefetches.
+	Accuracy float64
+	// MetaWays is the LLC ways held by the metadata table at end of run.
+	MetaWays int
+}
+
+func summarize(s sim.Stats, base sim.Stats) RunStats {
+	return RunStats{
+		IPC:               s.IPC(),
+		Speedup:           stats.Speedup(s.IPC(), base.IPC()),
+		DRAMTraffic:       s.DRAMTraffic(),
+		NormalizedTraffic: stats.NormalizedTraffic(s.DRAMTraffic(), base.DRAMTraffic()),
+		Coverage:          stats.Coverage(base.L2DemandMisses, s.L2DemandMisses),
+		Accuracy:          s.TPAccuracy(),
+		MetaWays:          s.MetaWays,
+	}
+}
+
+// Scheme names a prefetching configuration for Evaluate.
+type Scheme string
+
+// The evaluated schemes.
+const (
+	Baseline Scheme = "baseline"
+	Triage   Scheme = "triage"
+	Triangel Scheme = "triangel"
+	RPG2     Scheme = "rpg2"
+	Prophet  Scheme = "prophet"
+)
+
+// Evaluate runs a workload under the named scheme with default options,
+// returning metrics normalized to the no-temporal-prefetching baseline.
+// Prophet profiles the workload once before the measured run (the Direct
+// flow of Figure 13).
+func Evaluate(w Workload, scheme Scheme) (RunStats, error) {
+	return EvaluateWith(w, scheme, DefaultOptions())
+}
+
+// EvaluateWith is Evaluate with explicit options.
+func EvaluateWith(w Workload, scheme Scheme, opts Options) (RunStats, error) {
+	cfg := opts.pipelineConfig()
+	factory := w.sourceFactory()
+	base := pipeline.RunBaseline(cfg.Sim, factory())
+	switch scheme {
+	case Baseline:
+		return summarize(base, base), nil
+	case Triage:
+		return summarize(pipeline.RunTriage(cfg.Sim, triage.Default(), factory()), base), nil
+	case Triangel:
+		return summarize(pipeline.RunTriangel(cfg.Sim, triangel.Default(), factory()), base), nil
+	case RPG2:
+		res := pipeline.RunRPG2(cfg.Sim, factory, 0)
+		return summarize(res.Stats, base), nil
+	case Prophet:
+		st, _ := pipeline.RunProphetDirect(cfg, factory)
+		return summarize(st, base), nil
+	}
+	return RunStats{}, fmt.Errorf("prophet: unknown scheme %q", scheme)
+}
+
+// Binary represents an optimized binary: the original program plus the
+// injected hint instructions and CSR manipulation (Section 4.4).
+type Binary struct {
+	// PCHints is the number of per-instruction hints injected (<= 128).
+	PCHints int
+	// MetaWays is the CSR resizing hint (Equation 3).
+	MetaWays int
+	// TPDisabled reports the Equation 3 disable verdict.
+	TPDisabled bool
+
+	hints   core.HintSet
+	weights map[mem.Addr]uint64
+}
+
+// Pipeline is the stateful Figure 5 loop: Profile inputs, Learn across
+// them, and Optimize into a Binary that adapts to every profiled input.
+type Pipeline struct {
+	opts Options
+	p    *pipeline.Prophet
+}
+
+// NewPipeline starts an empty pipeline.
+func NewPipeline(opts Options) *Pipeline {
+	return &Pipeline{opts: opts, p: pipeline.NewProphet(opts.pipelineConfig())}
+}
+
+// ProfileInput executes Steps 1 and 3 for one input: run it under the
+// simplified temporal prefetcher, collect PMU counters, and merge them into
+// the persistent profile (Equations 4-5).
+func (pl *Pipeline) ProfileInput(w Workload) {
+	pl.p.ProfileAndLearn(w.sourceFactory()())
+}
+
+// Loops returns how many inputs have been learned.
+func (pl *Pipeline) Loops() int { return pl.p.ProfileState().Loops }
+
+// Optimize executes Step 2: analyze the merged counters into hints and
+// "inject" them, producing the optimized Binary.
+func (pl *Pipeline) Optimize() Binary {
+	res := pl.p.Analyze()
+	return Binary{
+		PCHints:    len(res.Hints.PC),
+		MetaWays:   res.Hints.MetaWays,
+		TPDisabled: res.Hints.DisableTP,
+		hints:      res.Hints,
+		weights:    res.Weights,
+	}
+}
+
+// RunBinary executes the optimized binary on a workload, returning metrics
+// normalized to the no-temporal-prefetching baseline on the same trace.
+func (pl *Pipeline) RunBinary(b Binary, w Workload) RunStats {
+	cfg := pl.opts.pipelineConfig()
+	factory := w.sourceFactory()
+	base := pipeline.RunBaseline(cfg.Sim, factory())
+	engine := core.New(cfg.Prophet, b.hints, b.weights)
+	st := sim.Run(cfg.Sim, engine, nil, nil, nil, factory())
+	return summarize(st, base)
+}
+
+// Experiment reproduces one of the paper's tables or figures by ID (see
+// ExperimentIDs) and returns its rendered text.
+func Experiment(id string, quick bool) (string, error) {
+	res, err := experiments.Run(id, experiments.Options{Quick: quick})
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}
+
+// ExperimentIDs lists the reproducible artifacts in paper order.
+func ExperimentIDs() []string {
+	var out []string
+	for _, e := range experiments.Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
