@@ -8,7 +8,10 @@
 package prophet_test
 
 import (
+	"context"
 	"testing"
+
+	"prophet"
 
 	"prophet/internal/core"
 	"prophet/internal/experiments"
@@ -103,6 +106,58 @@ func BenchmarkStorageOverhead(b *testing.B) { runExperiment(b, "ST", "", "", "")
 
 func BenchmarkEnergyOverhead(b *testing.B) {
 	runExperiment(b, "EN", "energy overhead", "Mean", "energy-overhead")
+}
+
+// --- Evaluator API benchmarks ---
+
+// sweepBenchJobs is the acceptance workload: a 3-scheme x 4-workload sweep.
+func sweepBenchJobs(b *testing.B) []prophet.Job {
+	b.Helper()
+	var ws []prophet.Workload
+	for _, name := range []string{"mcf", "omnetpp", "sphinx3", "xalancbmk"} {
+		w, err := prophet.Find(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws = append(ws, w.WithRecords(30_000))
+	}
+	return prophet.Jobs(ws, prophet.Triage, prophet.Triangel, prophet.Prophet)
+}
+
+// BenchmarkEvaluatorSweep runs the 3x4 grid through a long-lived Evaluator:
+// per-workload baselines are simulated once per iteration (cache) and the
+// grid fans out over the worker pool.
+func BenchmarkEvaluatorSweep(b *testing.B) {
+	jobs := sweepBenchJobs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := prophet.New()
+		results, err := ev.Sweep(context.Background(), jobs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkEvaluateWithPerCall is the deprecated path over the same grid:
+// every call re-simulates its workload's baseline and runs serially. The
+// Evaluator sweep above must beat it.
+func BenchmarkEvaluateWithPerCall(b *testing.B) {
+	jobs := sweepBenchJobs(b)
+	opts := prophet.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			if _, err := prophet.EvaluateWith(j.Workload, j.Scheme, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 }
 
 // --- micro-benchmarks of the core structures ---

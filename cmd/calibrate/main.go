@@ -2,93 +2,114 @@
 // prints the raw metrics side by side. It exists to sanity-check workload
 // and prefetcher parameters against the shapes the paper reports; the
 // polished per-figure output lives in cmd/experiments.
+//
+// Each workload's scheme set is dispatched through Evaluator.Sweep, so the
+// four prefetchers run concurrently and share one cached baseline.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
+	"prophet"
+
 	"prophet/internal/graphs"
-	"prophet/internal/mem"
-	"prophet/internal/pipeline"
-	"prophet/internal/sim"
 	"prophet/internal/stats"
-	"prophet/internal/triage"
-	"prophet/internal/triangel"
 	"prophet/internal/workloads"
 )
-
-type namedFactory struct {
-	name    string
-	factory pipeline.SourceFactory
-}
 
 func main() {
 	records := flag.Uint64("records", workloads.DefaultRecords, "memory records per run")
 	only := flag.String("only", "", "run a single workload by name")
 	graphsToo := flag.Bool("graphs", false, "include CRONO graph workloads")
+	workers := flag.Int("workers", 0, "sweep worker pool (0 = all CPUs)")
 	flag.Parse()
 
-	var list []namedFactory
+	var names []string
 	for _, w := range workloads.SPEC() {
-		w := w
-		list = append(list, namedFactory{w.Name, func() mem.Source { return w.Source(*records) }})
+		names = append(names, w.Name)
 	}
 	if *graphsToo {
 		for _, g := range graphs.CRONO() {
-			g := g
-			list = append(list, namedFactory{g.Name, func() mem.Source { return g.Source(*records) }})
+			names = append(names, g.Name)
 		}
 	}
 
-	cfg := pipeline.Default()
+	ev := prophet.New(prophet.WithWorkers(*workers))
+	ctx := context.Background()
+	schemes := []prophet.Scheme{prophet.RPG2, prophet.Triage, prophet.Triangel, prophet.Prophet}
+
 	var spRPG2, spTriage, spTriangel, spProphet []float64
 	fmt.Printf("%-18s %8s | %22s %22s %22s %28s\n",
 		"workload", "baseIPC", "rpg2(spd,tr)", "triage(spd,tr,acc)", "triangel(spd,tr,acc,w)", "prophet(spd,tr,acc,w,cov)")
-	for _, w := range list {
-		if *only != "" && w.name != *only {
+	for _, name := range names {
+		if *only != "" && name != *only {
 			continue
 		}
+		w, err := prophet.Find(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w = w.WithRecords(*records)
+
 		start := time.Now()
-		base := pipeline.RunBaseline(cfg.Sim, w.factory())
+		base, err := ev.Run(ctx, w, prophet.Baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		byScheme := make(map[prophet.Scheme]prophet.Result, len(schemes))
+		jobs := prophet.Jobs([]prophet.Workload{w}, schemes...)
+		for i := range jobs {
+			if jobs[i].Scheme == prophet.RPG2 {
+				// Halve the distance-tuning trace, matching the tool's
+				// historical probe cost.
+				jobs[i].TuneRecords = *records / 2
+			}
+		}
+		results, err := ev.Sweep(ctx, jobs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				fmt.Fprintln(os.Stderr, res.Err)
+				os.Exit(1)
+			}
+			byScheme[res.Job.Scheme] = res
+		}
+		rpRep, prRep := byScheme[prophet.RPG2], byScheme[prophet.Prophet]
+		rp, tg := rpRep.Stats, byScheme[prophet.Triage].Stats
+		tr, pr := byScheme[prophet.Triangel].Stats, prRep.Stats
 
-		rp := pipeline.RunRPG2(cfg.Sim, w.factory, *records/2)
-
-		tg := triage.Default()
-		tgStats := pipeline.RunTriage(cfg.Sim, tg, w.factory())
-
-		tr := triangel.Default()
-		trStats := pipeline.RunTriangel(cfg.Sim, tr, w.factory())
-
-		prStats, pr := pipeline.RunProphetDirect(cfg, w.factory)
-		res := pr.Analyze()
-
-		sp := func(s sim.Stats) float64 { return stats.Speedup(s.IPC(), base.IPC()) }
-		tf := func(s sim.Stats) float64 { return stats.NormalizedTraffic(s.DRAMTraffic(), base.DRAMTraffic()) }
-		cov := func(s sim.Stats) float64 { return stats.Coverage(base.L2DemandMisses, s.L2DemandMisses) }
-
-		spRPG2 = append(spRPG2, sp(rp.Stats))
-		spTriage = append(spTriage, sp(tgStats))
-		spTriangel = append(spTriangel, sp(trStats))
-		spProphet = append(spProphet, sp(prStats))
+		spRPG2 = append(spRPG2, rp.Speedup)
+		spTriage = append(spTriage, tg.Speedup)
+		spTriangel = append(spTriangel, tr.Speedup)
+		spProphet = append(spProphet, pr.Speedup)
 
 		fmt.Printf("%-18s %8.3f | %6.3f %5.2f (k=%d,d=%d) | %6.3f %5.2f %4.2f | %6.3f %5.2f %4.2f w%d | %6.3f %5.2f %4.2f w%d cov%4.2f/%4.2f | hints=%d ways=%d dis=%v %.1fs\n",
-			w.name, base.IPC(),
-			sp(rp.Stats), tf(rp.Stats), rp.Kernels, rp.Distance,
-			sp(tgStats), tf(tgStats), tgStats.TPAccuracy(),
-			sp(trStats), tf(trStats), trStats.TPAccuracy(), trStats.MetaWays,
-			sp(prStats), tf(prStats), prStats.TPAccuracy(), prStats.MetaWays,
-			cov(prStats), cov(trStats),
-			len(res.Hints.PC), res.Hints.MetaWays, res.Hints.DisableTP,
+			name, base.IPC,
+			rp.Speedup, rp.NormalizedTraffic, rpRep.Meta["kernels"], rpRep.Meta["distance"],
+			tg.Speedup, tg.NormalizedTraffic, tg.Accuracy,
+			tr.Speedup, tr.NormalizedTraffic, tr.Accuracy, tr.MetaWays,
+			pr.Speedup, pr.NormalizedTraffic, pr.Accuracy, pr.MetaWays,
+			pr.Coverage, tr.Coverage,
+			prRep.Meta["hints"], prRep.Meta["metaWays"], prRep.Meta["disableTP"] != 0,
 			time.Since(start).Seconds())
 		fmt.Printf("    baseMiss=%dk | tg ins=%dk lkup=%dk hit=%dk iss=%dk | tr ins=%dk lkup=%dk hit=%dk iss=%dk | pr ins=%dk lkup=%dk hit=%dk iss=%dk useless tg=%dk tr=%dk pr=%dk\n",
-			base.L2DemandMisses/1000,
-			tgStats.TableStats.Insertions/1000, tgStats.TableStats.Lookups/1000, tgStats.TableStats.Hits/1000, tgStats.TPIssued/1000,
-			trStats.TableStats.Insertions/1000, trStats.TableStats.Lookups/1000, trStats.TableStats.Hits/1000, trStats.TPIssued/1000,
-			prStats.TableStats.Insertions/1000, prStats.TableStats.Lookups/1000, prStats.TableStats.Hits/1000, prStats.TPIssued/1000,
-			tgStats.TPUseless/1000, trStats.TPUseless/1000, prStats.TPUseless/1000)
+			base.Raw.L2DemandMisses/1000,
+			tg.Raw.TableInsertions/1000, tg.Raw.TableLookups/1000, tg.Raw.TableHits/1000, tg.Raw.TPIssued/1000,
+			tr.Raw.TableInsertions/1000, tr.Raw.TableLookups/1000, tr.Raw.TableHits/1000, tr.Raw.TPIssued/1000,
+			pr.Raw.TableInsertions/1000, pr.Raw.TableLookups/1000, pr.Raw.TableHits/1000, pr.Raw.TPIssued/1000,
+			tg.Raw.TPUseless/1000, tr.Raw.TPUseless/1000, pr.Raw.TPUseless/1000)
 	}
-	fmt.Printf("\nGEOMEAN  rpg2=%.4f triage=%.4f triangel=%.4f prophet=%.4f\n",
-		stats.Geomean(spRPG2), stats.Geomean(spTriage), stats.Geomean(spTriangel), stats.Geomean(spProphet))
+	hits, misses := ev.BaselineCacheStats()
+	fmt.Printf("\nGEOMEAN  rpg2=%.4f triage=%.4f triangel=%.4f prophet=%.4f  (baseline cache: %d hits / %d misses)\n",
+		stats.Geomean(spRPG2), stats.Geomean(spTriage), stats.Geomean(spTriangel), stats.Geomean(spProphet),
+		hits, misses)
 }

@@ -24,6 +24,7 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	quick := flag.Bool("quick", false, "reduced workload sets and trace lengths")
 	records := flag.Uint64("records", 0, "override memory records per run (0 = workload default)")
+	workers := flag.Int("workers", 0, "worker pool per experiment (0 = all CPUs, 1 = serial; output is byte-identical either way)")
 	flag.Parse()
 
 	if *list {
@@ -33,7 +34,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, Records: *records}
+	opts := experiments.Options{Quick: *quick, Records: *records, Workers: *workers}
 	var ids []string
 	if *run != "" {
 		ids = strings.Split(*run, ",")

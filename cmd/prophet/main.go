@@ -12,19 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
-	"prophet/internal/analysis"
-	"prophet/internal/graphs"
-	"prophet/internal/mem"
-	"prophet/internal/pipeline"
-	"prophet/internal/stats"
-	"prophet/internal/triangel"
-	"prophet/internal/workloads"
+	"prophet"
 )
 
 func main() {
@@ -42,29 +37,32 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := pipeline.Default()
-	cfg.Analysis.ELAcc = *elAcc
-	cfg.Analysis.PriorityBits = *prioBits
-	cfg.Prophet.MVBCandidates = *mvbCand
-	cfg.L = *learnL
+	ctx := context.Background()
+	ev := prophet.New(
+		prophet.WithELAcc(*elAcc),
+		prophet.WithPriorityBits(*prioBits),
+		prophet.WithMVBCandidates(*mvbCand),
+		prophet.WithLearningL(*learnL),
+	)
+	s := ev.NewSession()
 
-	p := pipeline.NewProphet(cfg)
 	for _, name := range strings.Split(*inputs, ",") {
-		name = strings.TrimSpace(name)
-		factory, err := resolve(name, *records)
+		w, err := resolve(name, *records)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("Step 1+3: profiling %s and merging counters (loop %d)\n", name, p.ProfileState().Loops+1)
-		p.ProfileAndLearn(factory())
+		fmt.Printf("Step 1+3: profiling %s and merging counters (loop %d)\n", w.Name, s.Loops()+1)
+		if err := s.Profile(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
-	res := p.Analyze()
-	fmt.Printf("Step 2: analysis produced %d PC hints, metaWays=%d, disableTP=%v (%.1fms)\n",
-		len(res.Hints.PC), res.Hints.MetaWays, res.Hints.DisableTP,
-		float64(res.Elapsed.Microseconds())/1000)
-	printHints(res)
+	bin := s.Optimize()
+	fmt.Printf("Step 2: analysis produced %d PC hints, metaWays=%d, disableTP=%v\n",
+		bin.PCHints, bin.MetaWays, bin.TPDisabled)
+	printHints(bin)
 
 	evalList := *eval
 	if evalList == "" {
@@ -72,62 +70,56 @@ func main() {
 	}
 	fmt.Printf("\n%-16s %10s %10s %10s %12s %12s\n", "workload", "baseIPC", "triangel", "prophet", "vs baseline", "vs triangel")
 	for _, name := range strings.Split(evalList, ",") {
-		name = strings.TrimSpace(name)
-		factory, err := resolve(name, *records)
+		w, err := resolve(name, *records)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		base := pipeline.RunBaseline(cfg.Sim, factory())
-		tr := pipeline.RunTriangel(cfg.Sim, triangel.Default(), factory())
-		pr := p.Run(factory())
+		// The baseline is simulated once per workload across both runs
+		// below — the session and the evaluator share one cache.
+		base, err := ev.Run(ctx, w, prophet.Baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err := ev.Run(ctx, w, prophet.Triangel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pr, err := s.Run(ctx, bin, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("%-16s %10.4f %10.4f %10.4f %11.2f%% %11.2f%%\n",
-			name, base.IPC(), tr.IPC(), pr.IPC(),
-			(stats.Speedup(pr.IPC(), base.IPC())-1)*100,
-			(stats.Speedup(pr.IPC(), tr.IPC())-1)*100)
+			w.Name, base.IPC, tr.IPC, pr.IPC,
+			(pr.Speedup-1)*100,
+			(pr.IPC/tr.IPC-1)*100)
 	}
 }
 
 // printHints lists the injected PC hints, heaviest miss contributors first.
-func printHints(res analysis.Result) {
-	type row struct {
-		pc     mem.Addr
-		weight uint64
-	}
-	rows := make([]row, 0, len(res.Hints.PC))
-	for pc := range res.Hints.PC {
-		rows = append(rows, row{pc, res.Weights[pc]})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].weight != rows[j].weight {
-			return rows[i].weight > rows[j].weight
-		}
-		return rows[i].pc < rows[j].pc
-	})
+func printHints(bin prophet.Binary) {
+	hints := bin.Hints()
 	max := 12
-	if len(rows) < max {
-		max = len(rows)
+	if len(hints) < max {
+		max = len(hints)
 	}
-	for _, r := range rows[:max] {
-		h := res.Hints.PC[r.pc]
-		fmt.Printf("  hint pc=%#x insert=%v priority=%d (misses %d)\n", uint64(r.pc), h.Insert, h.Priority, r.weight)
+	for _, h := range hints[:max] {
+		fmt.Printf("  hint pc=%#x insert=%v priority=%d (misses %d)\n", h.PC, h.Insert, h.Priority, h.Misses)
 	}
-	if len(rows) > max {
-		fmt.Printf("  ... and %d more hints\n", len(rows)-max)
+	if len(hints) > max {
+		fmt.Printf("  ... and %d more hints\n", len(hints)-max)
 	}
 }
 
-func resolve(name string, records uint64) (pipeline.SourceFactory, error) {
-	if w, ok := workloads.Get(name); ok {
-		return func() mem.Source { return w.Source(records) }, nil
+func resolve(name string, records uint64) (prophet.Workload, error) {
+	w, err := prophet.Find(strings.TrimSpace(name))
+	if err != nil {
+		known := prophet.Catalog()
+		sort.Strings(known)
+		return prophet.Workload{}, fmt.Errorf("%v; catalog: %s", err, strings.Join(known, ", "))
 	}
-	if g, err := graphs.Parse(name); err == nil {
-		return func() mem.Source { return g.Source(records) }, nil
-	}
-	var known []string
-	for _, w := range workloads.All() {
-		known = append(known, w.Name)
-	}
-	sort.Strings(known)
-	return nil, fmt.Errorf("unknown workload %q; catalog: %s", name, strings.Join(known, ", "))
+	return w.WithRecords(records), nil
 }

@@ -1,6 +1,8 @@
 // Command simulate runs one workload under one prefetching scheme and
 // prints the raw statistics — the low-level entry point for exploring the
-// simulator outside the figure harness.
+// simulator outside the figure harness. Schemes resolve through the
+// pluggable registry, so anything installed with prophet.RegisterScheme
+// works here too.
 //
 // Usage:
 //
@@ -10,89 +12,73 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"prophet/internal/graphs"
-	"prophet/internal/mem"
-	"prophet/internal/pipeline"
-	"prophet/internal/sim"
-	"prophet/internal/triage"
-	"prophet/internal/triangel"
-	"prophet/internal/workloads"
+	"prophet"
 )
 
 func main() {
 	workload := flag.String("workload", "mcf", "workload name (SPEC-like or CRONO algorithm_nodes_param)")
-	scheme := flag.String("scheme", "prophet", "baseline | rpg2 | triage | triangel | prophet")
+	scheme := flag.String("scheme", "prophet", "registered scheme name (see -list-schemes)")
 	records := flag.Uint64("records", 0, "memory records (0 = workload default)")
 	channels := flag.Int("channels", 1, "DRAM channels")
 	l1pf := flag.String("l1pf", "stride", "L1 prefetcher: stride | ipcp | none")
+	list := flag.Bool("list-schemes", false, "list registered schemes and exit")
 	flag.Parse()
 
-	factory, err := resolve(*workload, *records)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	cfg := pipeline.Default()
-	cfg.Sim.DRAM.Channels = *channels
+	opts := []prophet.Option{prophet.WithDRAMChannels(*channels)}
 	switch *l1pf {
 	case "stride":
-		cfg.Sim.L1PF = sim.L1Stride
+		opts = append(opts, prophet.WithL1Prefetcher(prophet.L1Stride))
 	case "ipcp":
-		cfg.Sim.L1PF = sim.L1IPCP
+		opts = append(opts, prophet.WithL1Prefetcher(prophet.L1IPCP))
 	case "none":
-		cfg.Sim.L1PF = sim.L1None
+		opts = append(opts, prophet.WithL1Prefetcher(prophet.L1None))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown l1pf %q\n", *l1pf)
 		os.Exit(1)
 	}
+	ev := prophet.New(opts...)
 
-	var st sim.Stats
-	switch *scheme {
-	case "baseline":
-		st = pipeline.RunBaseline(cfg.Sim, factory())
-	case "rpg2":
-		res := pipeline.RunRPG2(cfg.Sim, factory, 0)
-		st = res.Stats
-		fmt.Printf("rpg2: kernels=%d distance=%d\n", res.Kernels, res.Distance)
-	case "triage":
-		st = pipeline.RunTriage(cfg.Sim, triage.Default(), factory())
-	case "triangel":
-		st = pipeline.RunTriangel(cfg.Sim, triangel.Default(), factory())
-	case "prophet":
-		var p *pipeline.Prophet
-		st, p = pipeline.RunProphetDirect(cfg, factory)
-		res := p.Analyze()
-		fmt.Printf("prophet: hints=%d metaWays=%d disableTP=%v\n",
-			len(res.Hints.PC), res.Hints.MetaWays, res.Hints.DisableTP)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+	if *list {
+		fmt.Println(strings.Join(ev.Schemes(), "\n"))
+		return
+	}
+
+	w, err := prophet.Find(*workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (try: mcf, omnetpp, gcc_166, bfs_100000_16, ...)\n", err)
 		os.Exit(1)
 	}
+	w = w.WithRecords(*records)
 
+	rep, err := ev.RunDetailed(context.Background(), w, prophet.Scheme(*scheme))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Meta) > 0 {
+		fmt.Printf("%s:", *scheme)
+		for _, k := range []string{"kernels", "distance", "hints", "metaWays", "disableTP"} {
+			if v, ok := rep.Meta[k]; ok {
+				fmt.Printf(" %s=%d", k, v)
+			}
+		}
+		fmt.Println()
+	}
+
+	r := rep.Stats
 	fmt.Printf("workload:         %s\n", *workload)
-	fmt.Printf("instructions:     %d\n", st.Core.Instructions)
-	fmt.Printf("cycles:           %d\n", st.Core.Cycles)
-	fmt.Printf("IPC:              %.4f\n", st.IPC())
-	fmt.Printf("L1 hits/misses:   %d / %d\n", st.L1.Hits, st.L1.Misses)
-	fmt.Printf("L2 demand misses: %d\n", st.L2DemandMisses)
-	fmt.Printf("DRAM reads/writes: %d / %d\n", st.DRAM.Reads, st.DRAM.Writes)
-	fmt.Printf("prefetches issued: %d (useful %d, accuracy %.3f)\n", st.TPIssued, st.TPUseful, st.TPAccuracy())
-	fmt.Printf("metadata ways:    %d\n", st.MetaWays)
-}
-
-// resolve maps a workload name to a trace factory, trying the SPEC catalog
-// first and the CRONO name grammar second.
-func resolve(name string, records uint64) (pipeline.SourceFactory, error) {
-	if w, ok := workloads.Get(name); ok {
-		return func() mem.Source { return w.Source(records) }, nil
-	}
-	if g, err := graphs.Parse(name); err == nil {
-		return func() mem.Source { return g.Source(records) }, nil
-	}
-	return nil, fmt.Errorf("unknown workload %q (try: mcf, omnetpp, gcc_166, bfs_100000_16, ...)", name)
+	fmt.Printf("instructions:     %d\n", r.Raw.Instructions)
+	fmt.Printf("cycles:           %d\n", r.Raw.Cycles)
+	fmt.Printf("IPC:              %.4f (%.3fx baseline)\n", r.IPC, r.Speedup)
+	fmt.Printf("L1 hits/misses:   %d / %d\n", r.Raw.L1Hits, r.Raw.L1Misses)
+	fmt.Printf("L2 demand misses: %d\n", r.Raw.L2DemandMisses)
+	fmt.Printf("DRAM reads/writes: %d / %d\n", r.Raw.DRAMReads, r.Raw.DRAMWrites)
+	fmt.Printf("prefetches issued: %d (useful %d, accuracy %.3f)\n", r.Raw.TPIssued, r.Raw.TPUseful, r.Accuracy)
+	fmt.Printf("metadata ways:    %d\n", r.MetaWays)
 }

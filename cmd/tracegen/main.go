@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"os"
 
-	"prophet/internal/graphs"
+	"prophet"
+
 	"prophet/internal/mem"
-	"prophet/internal/workloads"
 )
 
 func main() {
@@ -26,13 +26,14 @@ func main() {
 	statsOnly := flag.Bool("stats", false, "print trace statistics instead of writing a file")
 	flag.Parse()
 
-	var src mem.Source
-	if w, ok := workloads.Get(*workload); ok {
-		src = w.Source(*records)
-	} else if g, err := graphs.Parse(*workload); err == nil {
-		src = g.Source(*records)
-	} else {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+	w, err := prophet.Find(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	src, err := w.WithRecords(*records).Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 

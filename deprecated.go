@@ -1,0 +1,67 @@
+package prophet
+
+import "context"
+
+// This file keeps the pre-Evaluator entry points alive as thin shims for
+// one release. They construct a throwaway single-worker Evaluator per call,
+// so they retain the old cost model (no baseline reuse across calls) —
+// migrate to New / Evaluator.Run / Evaluator.Sweep / Session to amortize
+// baselines and sweep concurrently. See README.md for the migration table.
+
+// Evaluate runs a workload under the named scheme with default options.
+//
+// Deprecated: use New().Run(ctx, w, scheme); a long-lived Evaluator caches
+// the baseline across calls.
+func Evaluate(w Workload, scheme Scheme) (RunStats, error) {
+	return EvaluateWith(w, scheme, DefaultOptions())
+}
+
+// EvaluateWith is Evaluate with explicit options.
+//
+// Deprecated: use New(WithOptions(opts)).Run(ctx, w, scheme).
+func EvaluateWith(w Workload, scheme Scheme, opts Options) (RunStats, error) {
+	return New(WithOptions(opts), WithWorkers(1)).Run(context.Background(), w, scheme)
+}
+
+// Pipeline is the stateful Figure 5 loop of the old API.
+//
+// Deprecated: use Evaluator.NewSession. Session reports resolution errors
+// per call instead of collecting them behind Err.
+type Pipeline struct {
+	s   *Session
+	err error
+}
+
+// NewPipeline starts an empty pipeline.
+//
+// Deprecated: use New(WithOptions(opts)).NewSession().
+func NewPipeline(opts Options) *Pipeline {
+	return &Pipeline{s: New(WithOptions(opts), WithWorkers(1)).NewSession()}
+}
+
+// ProfileInput executes Steps 1 and 3 for one input. Unknown workloads no
+// longer panic: the first error sticks and is reported by Err.
+func (pl *Pipeline) ProfileInput(w Workload) {
+	if err := pl.s.Profile(w); err != nil && pl.err == nil {
+		pl.err = err
+	}
+}
+
+// Loops returns how many inputs have been learned.
+func (pl *Pipeline) Loops() int { return pl.s.Loops() }
+
+// Err reports the first workload-resolution failure, if any.
+func (pl *Pipeline) Err() error { return pl.err }
+
+// Optimize executes Step 2, producing the optimized Binary.
+func (pl *Pipeline) Optimize() Binary { return pl.s.Optimize() }
+
+// RunBinary executes the optimized binary on a workload. On a resolution
+// failure it returns zero stats and records the error for Err.
+func (pl *Pipeline) RunBinary(b Binary, w Workload) RunStats {
+	r, err := pl.s.Run(context.Background(), b, w)
+	if err != nil && pl.err == nil {
+		pl.err = err
+	}
+	return r
+}

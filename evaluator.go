@@ -1,0 +1,254 @@
+package prophet
+
+import (
+	"context"
+	"fmt"
+
+	"prophet/internal/experiments"
+	"prophet/internal/pipeline"
+	"prophet/internal/registry"
+	"prophet/internal/sim"
+)
+
+// Evaluator is the stateful evaluation service: it owns a fixed system /
+// pipeline configuration, a per-workload baseline cache, and a concurrent
+// sweep engine over the pluggable scheme registry. It is safe for
+// concurrent use, and all runs are deterministic — a parallel Sweep returns
+// bit-identical results to a serial one.
+type Evaluator struct {
+	opts    Options
+	l1pf    L1Prefetcher
+	workers int
+
+	eng *pipeline.Evaluator
+}
+
+// Option configures an Evaluator under construction.
+type Option func(*Evaluator)
+
+// WithOptions applies a full legacy Options value (bulk form of the
+// individual With* options).
+func WithOptions(o Options) Option { return func(e *Evaluator) { e.opts = o } }
+
+// WithELAcc sets the Equation 1 insertion threshold (default 0.15).
+func WithELAcc(v float64) Option { return func(e *Evaluator) { e.opts.ELAcc = v } }
+
+// WithPriorityBits sets Equation 2's n (default 2).
+func WithPriorityBits(n int) Option { return func(e *Evaluator) { e.opts.PriorityBits = n } }
+
+// WithMVBCandidates sets the victim-buffer alternate budget (default 1).
+func WithMVBCandidates(n int) Option { return func(e *Evaluator) { e.opts.MVBCandidates = n } }
+
+// WithLearningL sets Equation 4's designer parameter L (default 4).
+func WithLearningL(n int) Option { return func(e *Evaluator) { e.opts.LearningL = n } }
+
+// WithDRAMChannels widens memory bandwidth (default 1, Table 1).
+func WithDRAMChannels(n int) Option { return func(e *Evaluator) { e.opts.DRAMChannels = n } }
+
+// L1Prefetcher selects the simulated L1 prefetcher.
+type L1Prefetcher int
+
+const (
+	// L1Stride is Table 1's degree-8 stride prefetcher (the default).
+	L1Stride L1Prefetcher = iota
+	// L1IPCP is the Figure 17 IPCP-style composite prefetcher.
+	L1IPCP
+	// L1None disables L1 prefetching.
+	L1None
+)
+
+// WithL1Prefetcher selects the L1 prefetcher.
+func WithL1Prefetcher(k L1Prefetcher) Option { return func(e *Evaluator) { e.l1pf = k } }
+
+// WithIPCPPrefetcher replaces the L1 stride prefetcher with the IPCP-style
+// composite (Figure 17). Shorthand for WithL1Prefetcher(L1IPCP).
+func WithIPCPPrefetcher() Option { return WithL1Prefetcher(L1IPCP) }
+
+// WithWorkers bounds the Sweep worker pool (default: runtime.NumCPU()).
+func WithWorkers(n int) Option { return func(e *Evaluator) { e.workers = n } }
+
+// New constructs an Evaluator from the paper's default configuration plus
+// the given options.
+func New(opts ...Option) *Evaluator {
+	e := &Evaluator{opts: DefaultOptions()}
+	for _, o := range opts {
+		o(e)
+	}
+	cfg := e.opts.pipelineConfig()
+	switch e.l1pf {
+	case L1IPCP:
+		cfg.Sim.L1PF = sim.L1IPCP
+	case L1None:
+		cfg.Sim.L1PF = sim.L1None
+	}
+	e.eng = pipeline.NewEvaluator(cfg, e.workers)
+	return e
+}
+
+// Workers reports the sweep pool width actually in use.
+func (e *Evaluator) Workers() int { return e.eng.Workers() }
+
+// BaselineCacheStats reports baseline cache hits and misses so far — each
+// miss is one no-prefetching simulation; each hit is one such simulation
+// amortized away.
+func (e *Evaluator) BaselineCacheStats() (hits, misses int64) { return e.eng.CacheStats() }
+
+// Schemes lists every registered scheme name, sorted.
+func (e *Evaluator) Schemes() []string { return registry.Names() }
+
+// Job names one unit of sweep work.
+type Job struct {
+	Workload Workload
+	Scheme   Scheme
+	// TuneRecords caps tuning traces for schemes that search runtime
+	// knobs (RPG2's prefetch-distance binary search). 0 = full-length.
+	TuneRecords uint64
+}
+
+// Jobs builds the cross product of workloads and schemes in workload-major
+// order — the usual sweep shape ("run these schemes on these workloads").
+func Jobs(ws []Workload, schemes ...Scheme) []Job {
+	out := make([]Job, 0, len(ws)*len(schemes))
+	for _, w := range ws {
+		for _, s := range schemes {
+			out = append(out, Job{Workload: w, Scheme: s})
+		}
+	}
+	return out
+}
+
+// Result pairs a sweep job with its outcome. Exactly one of Stats/Err is
+// meaningful.
+type Result struct {
+	Job   Job
+	Stats RunStats
+	// Meta carries scheme-specific extras (rpg2: "kernels", "distance";
+	// prophet: "hints", "metaWays", "disableTP"). May be nil.
+	Meta map[string]int
+	Err  error
+}
+
+// Report is a detailed single-run outcome: the normalized stats plus
+// scheme-specific metadata (rpg2: "kernels", "distance"; prophet: "hints",
+// "metaWays", "disableTP").
+type Report struct {
+	Stats RunStats
+	Meta  map[string]int
+}
+
+// Run evaluates one workload under one scheme, returning metrics normalized
+// to the no-temporal-prefetching baseline on the same trace. The baseline
+// is simulated at most once per workload per Evaluator and cached; unknown
+// workloads and schemes surface as errors, never panics.
+func (e *Evaluator) Run(ctx context.Context, w Workload, scheme Scheme) (RunStats, error) {
+	rep, err := e.RunDetailed(ctx, w, scheme)
+	return rep.Stats, err
+}
+
+// RunDetailed is Run plus scheme-specific metadata.
+func (e *Evaluator) RunDetailed(ctx context.Context, w Workload, scheme Scheme) (Report, error) {
+	job, err := e.job(Job{Workload: w, Scheme: scheme})
+	if err != nil {
+		return Report{}, err
+	}
+	out := e.eng.Run(ctx, job)
+	if out.Err != nil {
+		return Report{}, fmt.Errorf("prophet: %s under %s: %w", w.Name, scheme, out.Err)
+	}
+	return Report{Stats: summarize(out.Stats, out.Base), Meta: out.Meta}, nil
+}
+
+// Sweep fans the jobs out over the evaluator's worker pool and returns one
+// Result per job, in job order. Baselines are shared through the cache: a
+// 5-scheme sweep over one workload simulates its baseline once, not five
+// times. Cancelling the context aborts the sweep promptly — jobs not yet
+// started report the context error — and Sweep returns that error.
+func (e *Evaluator) Sweep(ctx context.Context, jobs ...Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	valid := make([]pipeline.Job, 0, len(jobs))
+	validIdx := make([]int, 0, len(jobs))
+	for i, j := range jobs {
+		results[i] = Result{Job: j}
+		pj, jerr := e.job(j)
+		if jerr != nil {
+			// Unresolvable workloads land in their result row; the rest
+			// of the sweep still runs.
+			results[i].Err = jerr
+			continue
+		}
+		valid = append(valid, pj)
+		validIdx = append(validIdx, i)
+	}
+	outs, err := e.eng.Sweep(ctx, valid...)
+	for k, out := range outs {
+		i := validIdx[k]
+		if out.Err != nil {
+			results[i].Err = fmt.Errorf("prophet: %s under %s: %w",
+				jobs[i].Workload.Name, jobs[i].Scheme, out.Err)
+			continue
+		}
+		results[i].Stats = summarize(out.Stats, out.Base)
+		results[i].Meta = out.Meta
+	}
+	return results, err
+}
+
+// job resolves a public Job into an engine job.
+func (e *Evaluator) job(j Job) (pipeline.Job, error) {
+	f, err := j.Workload.factory()
+	if err != nil {
+		return pipeline.Job{}, err
+	}
+	return pipeline.Job{
+		Key:         j.Workload.key(),
+		Factory:     f,
+		Scheme:      string(j.Scheme),
+		TuneRecords: j.TuneRecords,
+	}, nil
+}
+
+// Experiment reproduces one of the paper's tables or figures by ID (see
+// ExperimentIDs), running its workloads on the evaluator's worker pool, and
+// returns the rendered text. Output is byte-identical regardless of worker
+// count.
+//
+// Each experiment prescribes its own system/pipeline configuration (that is
+// what it reproduces — F17 overrides the L1 prefetcher, F18 the DRAM
+// channels, F16 the analysis knobs); only the worker pool comes from this
+// evaluator. Options like WithELAcc do not alter experiment output — use
+// Run/Sweep to measure a custom configuration.
+func (e *Evaluator) Experiment(id string, quick bool) (string, error) {
+	res, err := experiments.Run(id, experiments.Options{Quick: quick, Workers: e.eng.Workers()})
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}
+
+// RegisterScheme installs a custom prefetching scheme under name, making it
+// available to every Evaluator (and the cmd tools) alongside the built-in
+// self-registered schemes. The factory builds a fresh scheme instance per
+// run, so implementations may keep per-run state without locking. Duplicate
+// names are rejected.
+func RegisterScheme(name string, factory SchemeFactory) error {
+	return registry.Register(name, factory)
+}
+
+// SchemeFactory builds scheme instances; see internal/registry for the
+// run-context contract.
+type SchemeFactory = registry.Factory
+
+// Experiment reproduces one of the paper's tables or figures by ID with a
+// default evaluator (all CPUs).
+func Experiment(id string, quick bool) (string, error) {
+	return New().Experiment(id, quick)
+}
+
+// ExperimentIDs lists the reproducible artifacts in paper order.
+func ExperimentIDs() []string {
+	var out []string
+	for _, e := range experiments.Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}

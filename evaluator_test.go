@@ -1,0 +1,260 @@
+// Tests for the Evaluator/Session API: sweep determinism across worker
+// counts, baseline-cache behavior, scheme-registry plumbing, context
+// cancellation, and the error paths that replaced the old panics.
+package prophet_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"prophet"
+
+	"prophet/internal/registry"
+	"prophet/internal/sim"
+)
+
+func testJobs(t *testing.T) []prophet.Job {
+	t.Helper()
+	var ws []prophet.Workload
+	for _, name := range []string{"sphinx3", "xalancbmk"} {
+		w, err := prophet.Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w.WithRecords(30_000))
+	}
+	return prophet.Jobs(ws, prophet.Baseline, prophet.Triage, prophet.Triangel, prophet.Prophet)
+}
+
+// TestSweepParallelMatchesSerial pins the headline determinism contract:
+// a Sweep on N workers returns bit-identical results to one worker.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	jobs := testJobs(t)
+	serial, err := prophet.New(prophet.WithWorkers(1)).Sweep(context.Background(), jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := prophet.New(prophet.WithWorkers(8)).Sweep(context.Background(), jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(jobs) || len(parallel) != len(jobs) {
+		t.Fatalf("result lengths: serial=%d parallel=%d want %d", len(serial), len(parallel), len(jobs))
+	}
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("job %d errored: serial=%v parallel=%v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Stats != parallel[i].Stats {
+			t.Errorf("job %d (%s/%s) diverged:\n serial   %+v\n parallel %+v",
+				i, jobs[i].Workload.Name, jobs[i].Scheme, serial[i].Stats, parallel[i].Stats)
+		}
+	}
+}
+
+// TestBaselineCacheHitsReturnIdenticalStats verifies the cache contract:
+// repeat runs hit the cache and return identical RunStats.
+func TestBaselineCacheHitsReturnIdenticalStats(t *testing.T) {
+	ev := prophet.New(prophet.WithWorkers(2))
+	w, err := prophet.Find("sphinx3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.WithRecords(30_000)
+
+	first, err := ev.Run(context.Background(), w, prophet.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := ev.BaselineCacheStats(); misses != 1 {
+		t.Fatalf("first run: %d cache misses, want 1", misses)
+	}
+	second, err := ev.Run(context.Background(), w, prophet.Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("cached baseline differs:\n first  %+v\n second %+v", first, second)
+	}
+	hits, misses := ev.BaselineCacheStats()
+	if misses != 1 || hits < 1 {
+		t.Fatalf("cache stats after repeat: hits=%d misses=%d, want >=1 hit and exactly 1 miss", hits, misses)
+	}
+
+	// A different scheme on the same workload divides by the same cached
+	// baseline — no extra miss.
+	if _, err := ev.Run(context.Background(), w, prophet.Triage); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := ev.BaselineCacheStats(); misses != 1 {
+		t.Fatalf("triage run re-simulated the baseline: misses=%d", misses)
+	}
+
+	// A different trace length is a different trace: new cache entry.
+	if _, err := ev.Run(context.Background(), w.WithRecords(20_000), prophet.Baseline); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := ev.BaselineCacheStats(); misses != 2 {
+		t.Fatalf("records override shared a cache entry: misses=%d, want 2", misses)
+	}
+}
+
+// TestBaselineKeyNormalizesDefaultRecords: Records=0 and the explicit
+// catalog-default length are the same trace and must share a cache entry.
+func TestBaselineKeyNormalizesDefaultRecords(t *testing.T) {
+	ev := prophet.New()
+	w, err := prophet.Find("sphinx3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(context.Background(), w, prophet.Baseline); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Run(context.Background(), w.WithRecords(220_000), prophet.Baseline); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := ev.BaselineCacheStats(); misses != 1 {
+		t.Fatalf("default-vs-explicit records did not share a cache entry: misses=%d", misses)
+	}
+}
+
+// TestRegisterSchemeRejectsDuplicates covers registry plumbing end to end:
+// built-ins are present, duplicates are rejected, and a custom scheme runs
+// through the public API.
+func TestRegisterSchemeRejectsDuplicates(t *testing.T) {
+	ev := prophet.New()
+	schemes := strings.Join(ev.Schemes(), ",")
+	for _, want := range []string{"baseline", "triage", "triangel", "rpg2", "prophet"} {
+		if !strings.Contains(schemes, want) {
+			t.Fatalf("built-in scheme %q missing from %s", want, schemes)
+		}
+	}
+
+	if err := prophet.RegisterScheme("triangel", func() registry.Scheme { return nil }); err == nil {
+		t.Fatal("duplicate of built-in scheme accepted")
+	}
+
+	custom := prophet.SchemeFactory(func() registry.Scheme {
+		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
+			st := sim.Run(ctx.Sim, nil, nil, nil, nil, ctx.Factory())
+			return registry.Result{Stats: st, Meta: map[string]int{"custom": 1}}, nil
+		})
+	})
+	if err := prophet.RegisterScheme("test-noop", custom); err != nil {
+		t.Fatal(err)
+	}
+	if err := prophet.RegisterScheme("test-noop", custom); err == nil {
+		t.Fatal("duplicate custom scheme accepted")
+	}
+
+	w, _ := prophet.Find("sphinx3")
+	rep, err := ev.RunDetailed(context.Background(), w.WithRecords(20_000), prophet.Scheme("test-noop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Speedup != 1.0 {
+		t.Fatalf("no-op custom scheme speedup %.3f, want exactly 1.0 (it is the baseline run)", rep.Stats.Speedup)
+	}
+	if rep.Meta["custom"] != 1 {
+		t.Fatalf("custom scheme meta lost: %+v", rep.Meta)
+	}
+}
+
+// TestSweepContextCancellation: a cancelled context aborts the sweep and
+// marks undispatched jobs with the context error.
+func TestSweepContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ev := prophet.New(prophet.WithWorkers(2))
+	results, err := ev.Sweep(ctx, testJobs(t)...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sweep error = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("job %d ran despite cancelled context", i)
+		}
+	}
+}
+
+// TestUnknownWorkloadSurfacesAsError pins the satellite fix: unknown names
+// error out of Run (never panic), including hand-constructed workloads and
+// WithRecords copies.
+func TestUnknownWorkloadSurfacesAsError(t *testing.T) {
+	ev := prophet.New()
+	ctx := context.Background()
+
+	if _, err := ev.Run(ctx, prophet.Workload{Name: "not_a_workload"}, prophet.Baseline); err == nil {
+		t.Fatal("unknown hand-constructed workload accepted")
+	}
+	if _, err := ev.Run(ctx, prophet.Workload{Name: "nope"}.WithRecords(5_000), prophet.Baseline); err == nil {
+		t.Fatal("WithRecords on an unknown workload must surface the error at Run")
+	}
+	if _, err := ev.Run(ctx, prophet.Workload{}, prophet.Baseline); err == nil {
+		t.Fatal("zero workload accepted")
+	}
+
+	// A sweep keeps running: the bad row errors, the good row succeeds.
+	good, _ := prophet.Find("sphinx3")
+	results, err := ev.Sweep(ctx,
+		prophet.Job{Workload: prophet.Workload{Name: "bogus"}, Scheme: prophet.Baseline},
+		prophet.Job{Workload: good.WithRecords(20_000), Scheme: prophet.Baseline},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("bogus sweep row did not error")
+	}
+	if results[1].Err != nil {
+		t.Fatalf("valid sweep row failed: %v", results[1].Err)
+	}
+
+	// Unknown schemes error too, naming the registered set.
+	if _, err := ev.Run(ctx, good, prophet.Scheme("warp-drive")); err == nil ||
+		!strings.Contains(err.Error(), "registered") {
+		t.Fatalf("unknown scheme error unhelpful: %v", err)
+	}
+}
+
+// TestSessionMatchesDeprecatedPipeline: the shim and the Session produce
+// identical results for the same flow.
+func TestSessionMatchesDeprecatedPipeline(t *testing.T) {
+	w, _ := prophet.Find("omnetpp")
+	w = w.WithRecords(80_000)
+
+	ev := prophet.New(prophet.WithWorkers(1))
+	s := ev.NewSession()
+	if err := s.Profile(w); err != nil {
+		t.Fatal(err)
+	}
+	bin := s.Optimize()
+	got, err := s.Run(context.Background(), bin, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pl := prophet.NewPipeline(prophet.DefaultOptions())
+	pl.ProfileInput(w)
+	want := pl.RunBinary(pl.Optimize(), w)
+	if err := pl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Session diverged from Pipeline shim:\n session  %+v\n pipeline %+v", got, want)
+	}
+	if hints := bin.Hints(); len(hints) != bin.PCHints {
+		t.Fatalf("Binary.Hints returned %d entries, PCHints says %d", len(hints), bin.PCHints)
+	}
+}
+
+// TestDeprecatedPipelineErrNoPanic: the old panic path now records an error.
+func TestDeprecatedPipelineErrNoPanic(t *testing.T) {
+	pl := prophet.NewPipeline(prophet.DefaultOptions())
+	pl.ProfileInput(prophet.Workload{Name: "not_a_workload"})
+	if pl.Err() == nil {
+		t.Fatal("ProfileInput swallowed the unknown-workload error")
+	}
+}

@@ -1,6 +1,7 @@
 // Ablation: the Figure 19 feature breakdown for a single workload, driven
 // through the experiment harness — shows which of Prophet's mechanisms
-// (replacement, insertion, MVB, resizing) pays off where.
+// (replacement, insertion, MVB, resizing) pays off where. The experiment's
+// workloads run on the evaluator's worker pool.
 package main
 
 import (
@@ -11,7 +12,8 @@ import (
 )
 
 func main() {
-	out, err := prophet.Experiment("F19", true /* quick */)
+	ev := prophet.New() // worker pool = all CPUs; output is deterministic anyway
+	out, err := ev.Experiment("F19", true /* quick */)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 // Quickstart: profile one workload, build the optimized binary, and compare
 // Prophet against the hardware baselines on it — the minimal end-to-end use
-// of the public API.
+// of the Evaluator/Session API. The scheme comparison runs as one
+// concurrent sweep sharing a single cached baseline simulation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +13,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	ev := prophet.New() // paper defaults, worker pool = all CPUs
+
 	w, err := prophet.Find("omnetpp")
 	if err != nil {
 		log.Fatal(err)
@@ -20,21 +25,32 @@ func main() {
 
 	// The Figure 5 pipeline: Step 1+3 (profile and learn), Step 2
 	// (analyze into an optimized binary).
-	p := prophet.NewPipeline(prophet.DefaultOptions())
-	p.ProfileInput(w)
-	bin := p.Optimize()
+	s := ev.NewSession()
+	if err := s.Profile(w); err != nil {
+		log.Fatal(err)
+	}
+	bin := s.Optimize()
 	fmt.Printf("optimized binary: %d PC hints, metadata ways=%d, disableTP=%v\n",
 		bin.PCHints, bin.MetaWays, bin.TPDisabled)
 
-	// Run the optimized binary and the baselines on the same trace.
-	pr := p.RunBinary(bin, w)
-	tr, err := prophet.Evaluate(w, prophet.Triangel)
+	// Run the optimized binary and the baselines on the same trace. The
+	// sweep fans rpg2 and triangel out concurrently; the session run and
+	// both sweep jobs divide by one cached baseline simulation.
+	pr, err := s.Run(ctx, bin, w)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rp, err := prophet.Evaluate(w, prophet.RPG2)
+	results, err := ev.Sweep(ctx,
+		prophet.Jobs([]prophet.Workload{w}, prophet.RPG2, prophet.Triangel)...)
 	if err != nil {
 		log.Fatal(err)
+	}
+	rp, tr := results[0], results[1]
+	if rp.Err != nil {
+		log.Fatal(rp.Err)
+	}
+	if tr.Err != nil {
+		log.Fatal(tr.Err)
 	}
 
 	fmt.Printf("\n%-10s %10s %10s %10s %10s\n", "scheme", "speedup", "coverage", "accuracy", "traffic")
@@ -42,11 +58,13 @@ func main() {
 		fmt.Printf("%-10s %9.3fx %9.1f%% %9.1f%% %9.3fx\n",
 			name, r.Speedup, r.Coverage*100, r.Accuracy*100, r.NormalizedTraffic)
 	}
-	row("rpg2", rp)
-	row("triangel", tr)
+	row("rpg2", rp.Stats)
+	row("triangel", tr.Stats)
 	row("prophet", pr)
 
-	if pr.Speedup > tr.Speedup {
-		fmt.Println("\nProphet's profile-guided metadata management beats the runtime scheme on this workload.")
+	hits, misses := ev.BaselineCacheStats()
+	fmt.Printf("\nbaseline cache: %d hits, %d misses (one no-TP simulation amortized over every scheme)\n", hits, misses)
+	if pr.Speedup > tr.Stats.Speedup {
+		fmt.Println("Prophet's profile-guided metadata management beats the runtime scheme on this workload.")
 	}
 }

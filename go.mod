@@ -1,0 +1,3 @@
+module prophet
+
+go 1.24

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+
+	"prophet/internal/registry"
+	"prophet/internal/sim"
+)
+
+// core self-registers the two schemes it anchors: the no-temporal-prefetching
+// baseline every figure normalizes to, and Prophet itself. Prophet's run
+// needs the profile -> learn -> analyze loop, whose analysis layer imports
+// this package — so the flow arrives through the evaluator-injected
+// Context.Prophet hook rather than a direct import.
+func init() {
+	registry.MustRegister("baseline", func() registry.Scheme {
+		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
+			st := sim.Run(ctx.Sim, nil, nil, nil, nil, ctx.Factory())
+			return registry.Result{Stats: st}, nil
+		})
+	})
+	registry.MustRegister("prophet", func() registry.Scheme {
+		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
+			if ctx.Prophet == nil {
+				return registry.Result{}, fmt.Errorf("prophet scheme needs a pipeline-capable evaluator (Context.Prophet is nil)")
+			}
+			st, meta := ctx.Prophet.RunDirect(ctx.Factory)
+			return registry.Result{Stats: st, Meta: meta}, nil
+		})
+	})
+}

@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"prophet/internal/pipeline"
 	"prophet/internal/sim"
 	"prophet/internal/stats"
 	"prophet/internal/textplot"
-	"prophet/internal/triangel"
 )
 
 // schemeRun is one workload's outcome under one scheme.
@@ -36,11 +36,43 @@ type namedWorkload struct {
 	Factory pipeline.SourceFactory
 }
 
-// runComparison evaluates all three schemes against the no-TP baseline.
-func runComparison(cfg pipeline.Config, list []namedWorkload) comparison {
-	var c comparison
+// comparisonSchemes are the registered schemes every comparison evaluates,
+// in figure order.
+var comparisonSchemes = []string{"rpg2", "triangel", "prophet"}
+
+// runComparison evaluates all three schemes against the no-TP baseline
+// through an Evaluator sweep: every (workload, scheme) pair runs on the
+// worker pool, and each workload's baseline is simulated once — shared
+// across the three schemes via the evaluator's cache — instead of once per
+// scheme. Results are assembled by job index, so the output is
+// byte-identical to a serial evaluation.
+func runComparison(cfg pipeline.Config, opts Options, list []namedWorkload) comparison {
+	ev := pipeline.NewEvaluator(cfg, opts.workers())
+	jobs := make([]pipeline.Job, 0, len(list)*len(comparisonSchemes))
 	for _, w := range list {
-		base := pipeline.RunBaseline(cfg.Sim, w.Factory())
+		for _, s := range comparisonSchemes {
+			jobs = append(jobs, pipeline.Job{Key: w.Name, Factory: w.Factory, Scheme: s})
+		}
+	}
+	outs, err := ev.Sweep(context.Background(), jobs...)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: comparison sweep: %v", err))
+	}
+	for _, out := range outs {
+		// Registered schemes on catalog workloads cannot fail; a zero
+		// Stats row would silently corrupt the rendered figure, so any
+		// error here is a programming bug worth stopping on.
+		if out.Err != nil {
+			panic(fmt.Sprintf("experiments: %s under %s: %v", out.Job.Key, out.Job.Scheme, out.Err))
+		}
+	}
+
+	var c comparison
+	for i, w := range list {
+		rp := outs[i*len(comparisonSchemes)]
+		tr := outs[i*len(comparisonSchemes)+1]
+		pr := outs[i*len(comparisonSchemes)+2]
+		base := rp.Base
 		mk := func(s sim.Stats) schemeRun {
 			return schemeRun{
 				Stats:    s,
@@ -51,27 +83,22 @@ func runComparison(cfg pipeline.Config, list []namedWorkload) comparison {
 			}
 		}
 
-		rp := pipeline.RunRPG2(cfg.Sim, w.Factory, 0)
 		rpRun := mk(rp.Stats)
-		if rp.Kernels == 0 || rp.Distance == 0 {
+		if rp.Meta["kernels"] == 0 || rp.Meta["distance"] == 0 {
 			// No qualifying kernels (or rolled back): no prefetches
 			// were issued, so accuracy is undefined — the paper sets
 			// it to 0 (Figure 12 footnote).
 			rpRun.Accuracy = 0
 		}
 
-		trStats := pipeline.RunTriangel(cfg.Sim, triangel.Default(), w.Factory())
-
-		prStats, _ := pipeline.RunProphetDirect(cfg, w.Factory)
-
 		c.Labels = append(c.Labels, w.Name)
 		c.Baseline = append(c.Baseline, base)
 		c.RPG2 = append(c.RPG2, rpRun)
-		c.Triangel = append(c.Triangel, mk(trStats))
-		c.Prophet = append(c.Prophet, mk(prStats))
+		c.Triangel = append(c.Triangel, mk(tr.Stats))
+		c.Prophet = append(c.Prophet, mk(pr.Stats))
 		c.Notes = append(c.Notes,
 			fmt.Sprintf("%s: baseIPC=%.3f rpg2Kernels=%d rpg2Dist=%d prophetWays=%d",
-				w.Name, base.IPC(), rp.Kernels, rp.Distance, prStats.MetaWays))
+				w.Name, base.IPC(), rp.Meta["kernels"], rp.Meta["distance"], pr.Stats.MetaWays))
 	}
 	return c
 }

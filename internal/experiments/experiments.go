@@ -7,10 +7,17 @@
 // repository's simulator, not the authors' gem5 testbed — but each runner's
 // Result carries the shape the paper's figure demonstrates, and
 // EXPERIMENTS.md records paper-vs-measured for all of them.
+//
+// Runners execute on the pipeline Evaluator: per-workload baselines are
+// simulated once and cached, and independent (workload, scheme) runs fan
+// out over a worker pool (Options.Workers). Because every run is pure and
+// results are assembled by index, rendered output is byte-identical
+// whatever the worker count.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -29,7 +36,24 @@ type Options struct {
 	// Quick restricts workload sets and trace lengths so the whole suite
 	// runs in test-friendly time. Shapes are preserved, magnitudes shrink.
 	Quick bool
+	// Workers bounds the per-experiment worker pool (0 = all CPUs, 1 =
+	// serial). Every experiment produces byte-identical output regardless
+	// of worker count: runs are pure and results are assembled by index.
+	Workers int
 }
+
+// workers resolves the worker-pool width.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// forEach is the shared fan-out primitive (see pipeline.ForEach): fn(i)
+// runs for i in [0,n) on up to workers goroutines, and callers write
+// results into index-addressed slots so output stays deterministic.
+func forEach(workers, n int, fn func(i int)) { pipeline.ForEach(workers, n, fn) }
 
 // quickRecords is the trace length used in Quick mode.
 const quickRecords = 90_000

@@ -134,6 +134,25 @@ func TestOverheadsWithinBudgets(t *testing.T) {
 	}
 }
 
+// TestParallelRenderByteIdentical pins the acceptance criterion for the
+// concurrent sweep engine: an experiment rendered with N workers is
+// byte-identical to the serial rendering.
+func TestParallelRenderByteIdentical(t *testing.T) {
+	for _, id := range []string{"F8", "F10"} {
+		serial, err := Run(id, Options{Quick: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := Run(id, Options{Quick: true, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, p := serial.Render(), parallel.Render(); s != p {
+			t.Errorf("%s rendering differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", id, s, p)
+		}
+	}
+}
+
 func TestResultValueMissing(t *testing.T) {
 	r := Result{Labels: []string{"a"}, Series: nil}
 	if _, ok := r.Value("x", "a"); ok {

@@ -146,12 +146,16 @@ func Figure6(opts Options) Result {
 // addresses exhibiting T distinct successors, per workload.
 func Figure8(opts Options) Result {
 	set := specSet(opts)
-	labels := make([]string, 0, len(set))
 	series := make([]textplot.Series, 5)
 	for t := range series {
 		series[t].Name = fmt.Sprintf("T=%d", t+1)
 	}
-	for _, w := range set {
+	labels := make([]string, len(set))
+	for t := range series {
+		series[t].Values = make([]float64, len(set))
+	}
+	forEach(opts.workers(), len(set), func(wi int) {
+		w := set[wi]
 		h := temporal.NewTargetHistogram(5)
 		train := temporal.NewTrainingUnit(1024)
 		src := factoryFor(w, opts)()
@@ -165,11 +169,11 @@ func Figure8(opts Options) Result {
 			}
 		}
 		f := h.FractionsMin(2)
-		labels = append(labels, w.Name)
+		labels[wi] = w.Name
 		for t := range series {
-			series[t].Values = append(series[t].Values, f[t])
+			series[t].Values[wi] = f[t]
 		}
-	}
+	})
 	labels = append(labels, "Mean")
 	for t := range series {
 		series[t].Values = append(series[t].Values, stats.Mean(series[t].Values))
@@ -185,7 +189,7 @@ func Figure8(opts Options) Result {
 
 // Figure10 is the headline SPEC speedup comparison.
 func Figure10(opts Options) Result {
-	c := runComparison(pipeline.Default(), specWorkloads(opts))
+	c := runComparison(pipeline.Default(), opts, specWorkloads(opts))
 	labels, series := withGeomean(c.Labels, c.series(func(r schemeRun) float64 { return r.Speedup }))
 	return Result{
 		ID:     "F10",
@@ -199,7 +203,7 @@ func Figure10(opts Options) Result {
 
 // Figure11 is the DRAM traffic comparison.
 func Figure11(opts Options) Result {
-	c := runComparison(pipeline.Default(), specWorkloads(opts))
+	c := runComparison(pipeline.Default(), opts, specWorkloads(opts))
 	labels, series := withGeomean(c.Labels, c.series(func(r schemeRun) float64 { return r.Traffic }))
 	return Result{
 		ID:     "F11",
@@ -212,7 +216,7 @@ func Figure11(opts Options) Result {
 
 // Figure12 reports prefetching coverage and accuracy.
 func Figure12(opts Options) Result {
-	c := runComparison(pipeline.Default(), specWorkloads(opts))
+	c := runComparison(pipeline.Default(), opts, specWorkloads(opts))
 	covLabels, covSeries := withGeomean(append([]string{}, c.Labels...), c.series(func(r schemeRun) float64 { return r.Coverage }))
 	accSeries := c.series(func(r schemeRun) float64 { return r.Accuracy })
 	accTable := textplot.Table{Title: "(b) Prefetching accuracy", Columns: append([]string{"workload"}, "RPG2", "Triangel", "Prophet")}
@@ -233,43 +237,48 @@ func Figure12(opts Options) Result {
 // evaluated across all inputs after each learning step, bracketed by the
 // runtime-only configuration ("Disable") and per-input direct profiling
 // ("Direct").
-func learnStages(cfg pipeline.Config, evalInputs []namedWorkload, learnOrder []namedWorkload, stageNames []string) ([]string, []textplot.Series) {
+func learnStages(cfg pipeline.Config, opts Options, evalInputs []namedWorkload, learnOrder []namedWorkload, stageNames []string) ([]string, []textplot.Series) {
+	workers := opts.workers()
+	ev := pipeline.NewEvaluator(cfg, workers)
 	baseIPC := make([]float64, len(evalInputs))
-	for i, w := range evalInputs {
-		baseIPC[i] = pipeline.RunBaseline(cfg.Sim, w.Factory()).IPC()
-	}
+	forEach(workers, len(evalInputs), func(i int) {
+		baseIPC[i] = ev.Baseline(evalInputs[i].Name, evalInputs[i].Factory).IPC()
+	})
 	speedup := func(st sim.Stats, i int) float64 { return stats.Speedup(st.IPC(), baseIPC[i]) }
 
 	var series []textplot.Series
 
 	// Disable: the runtime scheme alone (Triage4 + Triangel metadata —
 	// the Figure 19 ablation base).
-	disable := textplot.Series{Name: "Disable"}
-	for i, w := range evalInputs {
+	disable := textplot.Series{Name: "Disable", Values: make([]float64, len(evalInputs))}
+	forEach(workers, len(evalInputs), func(i int) {
 		eng := core.New(ablationConfig(cfg, core.Features{}), core.HintSet{}, nil)
-		st := sim.Run(cfg.Sim, eng, nil, nil, nil, w.Factory())
-		disable.Values = append(disable.Values, speedup(st, i))
-	}
+		st := sim.Run(cfg.Sim, eng, nil, nil, nil, evalInputs[i].Factory())
+		disable.Values[i] = speedup(st, i)
+	})
 	series = append(series, disable)
 
-	// Cumulative learning stages.
+	// Cumulative learning stages: learning is inherently sequential, but
+	// each stage's re-evaluation over every input fans out. Analyze is
+	// forced before the fan-out so the parallel runs only read the hints.
 	p := pipeline.NewProphet(cfg)
 	for si, lw := range learnOrder {
 		p.ProfileAndLearn(lw.Factory())
-		s := textplot.Series{Name: stageNames[si]}
-		for i, w := range evalInputs {
-			st := p.Run(w.Factory())
-			s.Values = append(s.Values, speedup(st, i))
-		}
+		p.Analyze()
+		s := textplot.Series{Name: stageNames[si], Values: make([]float64, len(evalInputs))}
+		forEach(workers, len(evalInputs), func(i int) {
+			st := p.Run(evalInputs[i].Factory())
+			s.Values[i] = speedup(st, i)
+		})
 		series = append(series, s)
 	}
 
 	// Direct: each input profiled for itself (the learning goal).
-	direct := textplot.Series{Name: "Direct"}
-	for i, w := range evalInputs {
-		st, _ := pipeline.RunProphetDirect(cfg, w.Factory)
-		direct.Values = append(direct.Values, speedup(st, i))
-	}
+	direct := textplot.Series{Name: "Direct", Values: make([]float64, len(evalInputs))}
+	forEach(workers, len(evalInputs), func(i int) {
+		st, _ := pipeline.RunProphetDirect(cfg, evalInputs[i].Factory)
+		direct.Values[i] = speedup(st, i)
+	})
 	series = append(series, direct)
 
 	labels := make([]string, len(evalInputs))
@@ -316,7 +325,7 @@ func Figure13(opts Options) Result {
 		}
 		learn = append(learn, namedWorkload{Name: w.Name, Factory: factoryFor(w, opts)})
 	}
-	labels, series := learnStages(cfg, evals, learn, stageNames)
+	labels, series := learnStages(cfg, opts, evals, learn, stageNames)
 	return Result{
 		ID:     "F13",
 		Title:  "Prophet learning across gcc inputs (Figure 13)",
@@ -340,8 +349,8 @@ func Figure14(opts Options) Result {
 	astar := []namedWorkload{mk(workloads.AstarBiglakes()), mk(workloads.AstarRivers())}
 	soplex := []namedWorkload{mk(workloads.Soplex("pds-50")), mk(workloads.Soplex("ref"))}
 
-	aLabels, aSeries := learnStages(cfg, astar, astar, []string{"+lake", "+river"})
-	sLabels, sSeries := learnStages(cfg, soplex, soplex, []string{"+pds", "+ref"})
+	aLabels, aSeries := learnStages(cfg, opts, astar, astar, []string{"+lake", "+river"})
+	sLabels, sSeries := learnStages(cfg, opts, soplex, soplex, []string{"+pds", "+ref"})
 
 	// Merge the two families into one result; stage names are positional.
 	labels := append(aLabels, sLabels...)
@@ -364,7 +373,7 @@ func Figure14(opts Options) Result {
 
 // Figure15 is the CRONO graph-workload comparison.
 func Figure15(opts Options) Result {
-	c := runComparison(pipeline.Default(), graphWorkloads(opts))
+	c := runComparison(pipeline.Default(), opts, graphWorkloads(opts))
 	labels, series := withGeomean(c.Labels, c.series(func(r schemeRun) float64 { return r.Speedup }))
 	return Result{
 		ID:     "F15",
@@ -381,13 +390,17 @@ func Figure15(opts Options) Result {
 func sensitivity(opts Options, settingNames []string, apply func(cfg *pipeline.Config, setting int)) ([]string, []textplot.Series) {
 	set := specWorkloads(opts)
 	base := pipeline.Default()
+	workers := opts.workers()
+	ev := pipeline.NewEvaluator(base, workers)
 	series := make([]textplot.Series, len(settingNames))
 	for i := range series {
 		series[i].Name = settingNames[i]
+		series[i].Values = make([]float64, len(set))
 	}
-	var labels []string
-	for _, w := range set {
-		baseStats := pipeline.RunBaseline(base.Sim, w.Factory())
+	labels := make([]string, len(set))
+	forEach(workers, len(set), func(wi int) {
+		w := set[wi]
+		baseStats := ev.Baseline(w.Name, w.Factory)
 		// Step 1 once per workload; the counters feed every setting.
 		probe := pipeline.NewProphet(base)
 		counters := probe.Profile(w.Factory())
@@ -397,10 +410,10 @@ func sensitivity(opts Options, settingNames []string, apply func(cfg *pipeline.C
 			p := pipeline.NewProphet(cfg)
 			p.Learn(counters.Clone())
 			st := p.Run(w.Factory())
-			series[si].Values = append(series[si].Values, stats.Speedup(st.IPC(), baseStats.IPC()))
+			series[si].Values[wi] = stats.Speedup(st.IPC(), baseStats.IPC())
 		}
-		labels = append(labels, w.Name)
-	}
+		labels[wi] = w.Name
+	})
 	return withGeomean(labels, series)
 }
 
@@ -452,7 +465,7 @@ func Figure16c(opts Options) Result {
 func Figure17(opts Options) Result {
 	cfg := pipeline.Default()
 	cfg.Sim.L1PF = sim.L1IPCP
-	c := runComparison(cfg, specWorkloads(opts))
+	c := runComparison(cfg, opts, specWorkloads(opts))
 	labels, series := withGeomean(c.Labels, c.series(func(r schemeRun) float64 { return r.Speedup }))
 	return Result{
 		ID:     "F17",
@@ -467,7 +480,7 @@ func Figure17(opts Options) Result {
 func Figure18(opts Options) Result {
 	cfg := pipeline.Default()
 	cfg.Sim.DRAM.Channels = 2
-	c := runComparison(cfg, specWorkloads(opts))
+	c := runComparison(cfg, opts, specWorkloads(opts))
 	labels, series := withGeomean(c.Labels, c.series(func(r schemeRun) float64 { return r.Speedup }))
 	return Result{
 		ID:     "F18",
@@ -493,24 +506,32 @@ func Figure19(opts Options) Result {
 		{"+Resize", core.AllFeatures()},
 	}
 	set := specWorkloads(opts)
+	workers := opts.workers()
+	ev := pipeline.NewEvaluator(cfg, workers)
 	speedups := make([]textplot.Series, len(stages))
 	traffic := textplot.Table{Title: "(b) Normalized DRAM traffic", Columns: []string{"workload", "Triage4+Meta", "+Repla", "+Insert", "+MVB", "+Resize"}}
 	for i := range stages {
 		speedups[i].Name = stages[i].name
+		speedups[i].Values = make([]float64, len(set))
 	}
-	var labels []string
-	for _, w := range set {
-		base := pipeline.RunBaseline(cfg.Sim, w.Factory())
+	labels := make([]string, len(set))
+	rows := make([][]string, len(set))
+	forEach(workers, len(set), func(wi int) {
+		w := set[wi]
+		base := ev.Baseline(w.Name, w.Factory)
 		p := pipeline.NewProphet(cfg)
 		p.ProfileAndLearn(w.Factory())
 		row := []string{w.Name}
 		for si, st := range stages {
 			runStats := p.RunWithFeatures(st.f, w.Factory())
-			speedups[si].Values = append(speedups[si].Values, stats.Speedup(runStats.IPC(), base.IPC()))
+			speedups[si].Values[wi] = stats.Speedup(runStats.IPC(), base.IPC())
 			row = append(row, textplot.F(stats.NormalizedTraffic(runStats.DRAMTraffic(), base.DRAMTraffic())))
 		}
+		rows[wi] = row
+		labels[wi] = w.Name
+	})
+	for _, row := range rows {
 		traffic.AddRow(row...)
-		labels = append(labels, w.Name)
 	}
 	labels, speedups = withGeomean(labels, speedups)
 	return Result{

@@ -98,9 +98,11 @@ func StorageOverhead(Options) Result {
 func EnergyOverhead(opts Options) Result {
 	model := energy.Default()
 	cfg := pipeline.Default()
-	var labels []string
-	var overheads []float64
-	for _, w := range specSet(opts) {
+	set := specSet(opts)
+	labels := make([]string, len(set))
+	overheads := make([]float64, len(set))
+	forEach(opts.workers(), len(set), func(wi int) {
+		w := set[wi]
 		factory := factoryFor(w, opts)
 		trStats := pipeline.RunTriangel(cfg.Sim, triangel.Default(), factory())
 		trEnergy := model.Evaluate(trStats, 0).Total()
@@ -116,9 +118,9 @@ func EnergyOverhead(opts Options) Result {
 		}
 		prEnergy := model.Evaluate(prStats, mvbAccesses).Total()
 
-		labels = append(labels, w.Name)
-		overheads = append(overheads, energy.Overhead(prEnergy, trEnergy))
-	}
+		labels[wi] = w.Name
+		overheads[wi] = energy.Overhead(prEnergy, trEnergy)
+	})
 	labels = append(labels, "Mean")
 	overheads = append(overheads, stats.Mean(overheads))
 	return Result{

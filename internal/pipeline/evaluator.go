@@ -1,0 +1,197 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"prophet/internal/registry"
+	"prophet/internal/sim"
+)
+
+// Job names one unit of evaluation work: a workload trace run under a
+// registered scheme.
+type Job struct {
+	// Key identifies the trace for baseline caching. Two jobs with equal
+	// keys must produce identical traces from their factories (the usual
+	// key is "name@records").
+	Key string
+	// Factory produces a fresh deterministic trace per simulation pass.
+	Factory SourceFactory
+	// Scheme is the registered scheme name ("baseline", "triage",
+	// "triangel", "rpg2", "prophet", or anything registered since).
+	Scheme string
+	// TuneRecords caps tuning traces for schemes that search runtime
+	// knobs (RPG2). 0 means full-length.
+	TuneRecords uint64
+}
+
+// Outcome is one job's result. Err is non-nil when the scheme is unknown,
+// the scheme itself failed, or the sweep was cancelled before the job ran.
+type Outcome struct {
+	Job   Job
+	Stats sim.Stats
+	// Base is the cached no-temporal-prefetching baseline for the same
+	// trace — every normalized metric divides by it.
+	Base sim.Stats
+	// Meta carries scheme extras (rpg2: kernels/distance; prophet:
+	// hints/metaWays/disableTP).
+	Meta map[string]int
+	Err  error
+}
+
+// Evaluator owns a pipeline configuration, a per-trace baseline cache, and
+// a bounded worker pool. It is safe for concurrent use; all scheme runs are
+// deterministic, so parallel sweeps return bit-identical results to serial
+// ones.
+type Evaluator struct {
+	cfg     Config
+	workers int
+
+	mu        sync.Mutex
+	baselines map[string]*baselineEntry
+
+	hits, misses atomic.Int64
+}
+
+type baselineEntry struct {
+	once  sync.Once
+	stats sim.Stats
+}
+
+// NewEvaluator builds an evaluator. workers <= 0 selects runtime.NumCPU().
+func NewEvaluator(cfg Config, workers int) *Evaluator {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Evaluator{cfg: cfg, workers: workers, baselines: map[string]*baselineEntry{}}
+}
+
+// Config returns the evaluator's pipeline configuration.
+func (e *Evaluator) Config() Config { return e.cfg }
+
+// Workers returns the sweep pool width.
+func (e *Evaluator) Workers() int { return e.workers }
+
+// CacheStats reports baseline cache hits and misses so far.
+func (e *Evaluator) CacheStats() (hits, misses int64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// Baseline returns the no-temporal-prefetching run for the trace identified
+// by key, simulating it at most once per evaluator. Concurrent callers for
+// the same key block on one simulation (singleflight) — the run is
+// deterministic, so whoever computes it, everyone sees the same stats.
+func (e *Evaluator) Baseline(key string, factory SourceFactory) sim.Stats {
+	e.mu.Lock()
+	entry, ok := e.baselines[key]
+	if !ok {
+		entry = &baselineEntry{}
+		e.baselines[key] = entry
+	}
+	e.mu.Unlock()
+	computed := false
+	entry.once.Do(func() {
+		computed = true
+		entry.stats = RunBaseline(e.cfg.Sim, factory())
+	})
+	if computed {
+		e.misses.Add(1)
+	} else {
+		e.hits.Add(1)
+	}
+	return entry.stats
+}
+
+// RunDirect implements registry.ProphetRunner: the single-input Figure 5
+// flow (profile, learn, analyze, run) on a fresh pipeline.
+func (e *Evaluator) RunDirect(factory registry.SourceFactory) (sim.Stats, map[string]int) {
+	p := NewProphet(e.cfg)
+	p.ProfileAndLearn(factory())
+	res := p.Analyze()
+	st := p.Run(factory())
+	meta := map[string]int{"hints": len(res.Hints.PC), "metaWays": res.Hints.MetaWays}
+	if res.Hints.DisableTP {
+		meta["disableTP"] = 1
+	}
+	return st, meta
+}
+
+// Run executes one job synchronously, consulting the baseline cache.
+func (e *Evaluator) Run(ctx context.Context, job Job) Outcome {
+	out := Outcome{Job: job}
+	if err := ctx.Err(); err != nil {
+		out.Err = err
+		return out
+	}
+	factory, ok := registry.Lookup(job.Scheme)
+	if !ok {
+		out.Err = fmt.Errorf("pipeline: unknown scheme %q (registered: %s)",
+			job.Scheme, strings.Join(registry.Names(), ", "))
+		return out
+	}
+	out.Base = e.Baseline(job.Key, job.Factory)
+	if job.Scheme == "baseline" {
+		// The baseline scheme IS the cached run; don't simulate it twice.
+		out.Stats = out.Base
+		return out
+	}
+	res, err := factory().Run(registry.Context{
+		Sim:         e.cfg.Sim,
+		Factory:     registry.SourceFactory(job.Factory),
+		TuneRecords: job.TuneRecords,
+		Baseline:    func() sim.Stats { return e.Baseline(job.Key, job.Factory) },
+		Prophet:     e,
+	})
+	out.Stats, out.Meta, out.Err = res.Stats, res.Meta, err
+	return out
+}
+
+// Sweep fans the jobs out over the worker pool and returns their outcomes
+// in job order — results are positionally deterministic and, because every
+// run is pure, bit-identical to a serial execution. Cancelling the context
+// stops dispatch promptly: jobs not yet started come back with Err set to
+// the context error (in-flight simulations run to completion; the simulator
+// has no preemption points).
+func (e *Evaluator) Sweep(ctx context.Context, jobs ...Job) ([]Outcome, error) {
+	out := make([]Outcome, len(jobs))
+	ForEach(e.workers, len(jobs), func(i int) {
+		out[i] = e.Run(ctx, jobs[i])
+	})
+	return out, ctx.Err()
+}
+
+// ForEach runs fn(i) for i in [0,n) on up to workers goroutines and blocks
+// until all complete. It is the shared fan-out primitive behind Sweep and
+// the experiment runners: callers write results into index-addressed slots,
+// so output stays deterministic whatever the interleaving.
+func ForEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

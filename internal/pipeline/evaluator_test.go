@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"prophet/internal/mem"
+	"prophet/internal/workloads"
+)
+
+func evalJobs(records uint64) []Job {
+	var jobs []Job
+	for _, name := range []string{"sphinx3", "xalancbmk"} {
+		w, _ := workloads.Get(name)
+		factory := func() mem.Source { return w.Source(records) }
+		for _, scheme := range []string{"baseline", "triage", "triangel"} {
+			jobs = append(jobs, Job{Key: name, Factory: factory, Scheme: scheme})
+		}
+	}
+	return jobs
+}
+
+// TestBaselineSingleflight: concurrent Baseline calls for one key simulate
+// exactly once.
+func TestBaselineSingleflight(t *testing.T) {
+	ev := NewEvaluator(Default(), 8)
+	w, _ := workloads.Get("sphinx3")
+	factory := func() mem.Source { return w.Source(20_000) }
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev.Baseline("sphinx3", factory)
+		}()
+	}
+	wg.Wait()
+	hits, misses := ev.CacheStats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1 (singleflight)", misses)
+	}
+	if hits != 7 {
+		t.Fatalf("hits = %d, want 7", hits)
+	}
+}
+
+// TestSweepOrderAndBaselineSharing: outcomes come back in job order and the
+// three schemes of each workload share one baseline simulation.
+func TestSweepOrderAndBaselineSharing(t *testing.T) {
+	ev := NewEvaluator(Default(), 4)
+	jobs := evalJobs(20_000)
+	outs, err := ev.Sweep(context.Background(), jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if out.Err != nil {
+			t.Fatalf("job %d: %v", i, out.Err)
+		}
+		if out.Job.Key != jobs[i].Key || out.Job.Scheme != jobs[i].Scheme {
+			t.Fatalf("outcome %d out of order: got %s/%s want %s/%s",
+				i, out.Job.Key, out.Job.Scheme, jobs[i].Key, jobs[i].Scheme)
+		}
+		if out.Base.IPC() <= 0 {
+			t.Fatalf("job %d missing baseline", i)
+		}
+	}
+	if _, misses := ev.CacheStats(); misses != 2 {
+		t.Fatalf("misses = %d, want 2 (one per workload)", misses)
+	}
+	// The baseline scheme's stats are the cached baseline itself.
+	if outs[0].Stats != outs[0].Base {
+		t.Fatal("baseline scheme did not reuse the cached run")
+	}
+}
+
+// TestRunUnknownScheme: unregistered names error cleanly.
+func TestRunUnknownScheme(t *testing.T) {
+	ev := NewEvaluator(Default(), 1)
+	w, _ := workloads.Get("sphinx3")
+	out := ev.Run(context.Background(), Job{
+		Key:     "sphinx3",
+		Factory: func() mem.Source { return w.Source(1_000) },
+		Scheme:  "no-such-scheme",
+	})
+	if out.Err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+// TestSweepEmpty: zero jobs is a no-op, not a hang.
+func TestSweepEmpty(t *testing.T) {
+	ev := NewEvaluator(Default(), 4)
+	outs, err := ev.Sweep(context.Background())
+	if err != nil || len(outs) != 0 {
+		t.Fatalf("empty sweep: outs=%d err=%v", len(outs), err)
+	}
+}

@@ -50,53 +50,16 @@ type RPG2Result struct {
 	Distance int
 }
 
-// rpg2Observer adapts the profiler to the sim observer interface, counting
-// an access as a miss when it leaves the L1 (the paper's "at least 10%
-// cache misses" qualification).
-type rpg2Observer struct{ prof *rpg2.Profiler }
-
-func (o rpg2Observer) OnDemandAccess(pc mem.Addr, line mem.Line, l1Hit, _ bool) {
-	o.prof.Observe(pc, line, !l1Hit)
-}
-
 // RunRPG2 performs the full RPG2 methodology: profile to find stride
 // kernels, tune the prefetch distance by binary search (on a shortened
 // trace), then run with the best distance. With no qualifying kernels the
 // scheme degenerates to the baseline, as on most SPEC workloads.
+//
+// Deprecated: the flow lives in rpg2.Evaluate and runs through the scheme
+// registry; use an Evaluator with the "rpg2" scheme instead.
 func RunRPG2(cfg sim.Config, factory SourceFactory, tuneRecords uint64) RPG2Result {
-	prof := rpg2.NewProfiler()
-	// Kernel identification profiles load misses the way PEBS counts
-	// retired-load misses: without the L1 prefetcher masking them.
-	profCfg := cfg
-	profCfg.L1PF = sim.L1None
-	sim.Run(profCfg, nil, nil, nil, rpg2Observer{prof}, factory())
-	kernels := prof.Kernels(rpg2.DefaultProfileParams())
-	if len(kernels) == 0 {
-		return RPG2Result{Stats: RunBaseline(cfg, factory()), Kernels: 0, Distance: 0}
-	}
-	tuneSrc := func() mem.Source {
-		src := factory()
-		if tuneRecords > 0 {
-			src = mem.Limit(src, tuneRecords)
-		}
-		return src
-	}
-	var bestIPC float64
-	best := rpg2.TuneDistance(32, func(d int) float64 {
-		ipc := sim.Run(cfg, nil, rpg2.NewPrefetcher(kernels, d), nil, nil, tuneSrc()).IPC()
-		if ipc > bestIPC {
-			bestIPC = ipc
-		}
-		return ipc
-	})
-	// RPG2 is *robust*: prefetches that do not pay off are rolled back at
-	// runtime. If the tuned configuration loses to the plain baseline on
-	// the tuning trace, the kernels are dropped.
-	if baseTune := RunBaseline(cfg, tuneSrc()).IPC(); bestIPC <= baseTune {
-		return RPG2Result{Stats: RunBaseline(cfg, factory()), Kernels: len(kernels), Distance: 0}
-	}
-	st := sim.Run(cfg, nil, rpg2.NewPrefetcher(kernels, best), nil, nil, factory())
-	return RPG2Result{Stats: st, Kernels: len(kernels), Distance: best}
+	res := rpg2.Evaluate(cfg, factory, tuneRecords, nil)
+	return RPG2Result{Stats: res.Stats, Kernels: res.Kernels, Distance: res.Distance}
 }
 
 // --- Prophet flow (Figure 5) ---

@@ -1,0 +1,64 @@
+package registry
+
+import (
+	"sort"
+	"testing"
+)
+
+func noop() Scheme {
+	return Func(func(Context) (Result, error) { return Result{}, nil })
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register("", noop); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Register("reg-test-nil", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if err := Register("reg-test-a", noop); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register("reg-test-a", noop); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	if _, ok := Lookup("reg-test-missing"); ok {
+		t.Error("missing scheme resolved")
+	}
+	if err := Register("reg-test-b", noop); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := Lookup("reg-test-b")
+	if !ok || f == nil {
+		t.Fatal("registered scheme did not resolve")
+	}
+	if _, err := f().Run(Context{}); err != nil {
+		t.Fatal(err)
+	}
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names not sorted: %v", names)
+	}
+	found := false
+	for _, n := range names {
+		if n == "reg-test-b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reg-test-b missing from %v", names)
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	MustRegister("reg-test-c", noop)
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister did not panic on duplicate")
+		}
+	}()
+	MustRegister("reg-test-c", noop)
+}

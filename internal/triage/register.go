@@ -1,0 +1,17 @@
+package triage
+
+import (
+	"prophet/internal/registry"
+	"prophet/internal/sim"
+)
+
+// The triage scheme self-registers: the evaluator resolves it by name, so
+// the public API needs no per-prefetcher switch.
+func init() {
+	registry.MustRegister("triage", func() registry.Scheme {
+		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
+			st := sim.Run(ctx.Sim, New(Default()), nil, nil, nil, ctx.Factory())
+			return registry.Result{Stats: st}, nil
+		})
+	})
+}

@@ -1,0 +1,17 @@
+package triangel
+
+import (
+	"prophet/internal/registry"
+	"prophet/internal/sim"
+)
+
+// The triangel scheme self-registers: the evaluator resolves it by name, so
+// the public API needs no per-prefetcher switch.
+func init() {
+	registry.MustRegister("triangel", func() registry.Scheme {
+		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
+			st := sim.Run(ctx.Sim, New(Default()), nil, nil, nil, ctx.Factory())
+			return registry.Result{Stats: st}, nil
+		})
+	})
+}

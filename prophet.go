@@ -6,49 +6,68 @@
 //
 //   - Workload catalog: the SPEC-CPU-like irregular workloads and
 //     CRONO-style graph workloads of the paper's evaluation, resolved by
-//     name (Workload, Catalog).
-//   - Scheme runners: execute a workload under the no-temporal-prefetching
-//     baseline, the Triage and Triangel hardware prefetchers, the RPG2
-//     software prefetching baseline, or Prophet (Evaluate*).
-//   - The Prophet pipeline: the Figure 5 loop — Profile inputs with the
-//     simplified prefetcher, Learn counters across inputs, Analyze into an
-//     optimized Binary, and Run it (Pipeline, Binary).
+//     name (Workload, Catalog, Find).
+//   - Evaluator: a stateful evaluation service (New) that owns a pluggable
+//     scheme registry, a per-workload baseline cache, and a concurrent
+//     sweep engine. Run executes one (workload, scheme) pair; Sweep fans a
+//     job list out over a worker pool with deterministic, ordered results.
+//   - Session: the stateful Figure 5 loop — Profile inputs with the
+//     simplified prefetcher, learn counters across inputs, Optimize into a
+//     Binary, and Run it on any workload, reusing the evaluator's cached
+//     baselines.
 //
-// Everything is deterministic: the same calls return bit-identical results.
+// Everything is deterministic: the same calls return bit-identical results,
+// whether a sweep runs on one worker or sixteen.
 //
 // Quickstart:
 //
+//	ev := prophet.New(prophet.WithELAcc(0.15), prophet.WithWorkers(8))
 //	w, _ := prophet.Find("omnetpp")
-//	p := prophet.NewPipeline(prophet.DefaultOptions())
-//	p.ProfileInput(w)
-//	bin := p.Optimize()
-//	r := p.RunBinary(bin, w)
+//	r, _ := ev.Run(context.Background(), w, prophet.Prophet)
 //	fmt.Printf("Prophet speedup: %.2fx\n", r.Speedup)
+//
+//	// Sweep several workloads and schemes concurrently; the baseline for
+//	// each workload is simulated once and shared across schemes.
+//	mcf, _ := prophet.Find("mcf")
+//	results, _ := ev.Sweep(context.Background(),
+//		prophet.Jobs([]prophet.Workload{w, mcf}, prophet.Triangel, prophet.Prophet)...)
+//
+// The profile-guided pipeline (Figure 5) runs through a Session:
+//
+//	s := ev.NewSession()
+//	s.Profile(w)
+//	bin := s.Optimize()
+//	r, _ := s.Run(context.Background(), bin, w)
+//
+// Custom prefetching schemes plug in through RegisterScheme; the built-in
+// schemes (baseline, triage, triangel, rpg2, prophet) self-register from
+// their packages the same way.
+//
+// The pre-Evaluator entry points (Evaluate, EvaluateWith, Pipeline) remain
+// as thin deprecated shims for one release; see README.md for the migration
+// table.
 package prophet
 
 import (
 	"fmt"
 
-	"prophet/internal/core"
-	"prophet/internal/experiments"
 	"prophet/internal/graphs"
 	"prophet/internal/mem"
 	"prophet/internal/pipeline"
 	"prophet/internal/sim"
 	"prophet/internal/stats"
-	"prophet/internal/triage"
-	"prophet/internal/triangel"
 	"prophet/internal/workloads"
 )
 
-// Workload identifies a runnable workload from the catalog.
+// Workload identifies a runnable workload from the catalog. The zero value
+// is invalid; construct with Find, or fill Name directly — resolution
+// happens lazily at run time, and unknown names surface as errors from
+// Evaluator.Run (never a panic).
 type Workload struct {
 	// Name is the catalog identifier ("mcf", "gcc_166", "bfs_100000_16").
 	Name string
 	// Records is the trace length in memory records (0 = catalog default).
 	Records uint64
-
-	factory pipeline.SourceFactory
 }
 
 // Catalog lists every available workload name: the SPEC-like set, all gcc /
@@ -64,42 +83,72 @@ func Catalog() []string {
 	return out
 }
 
-// Find resolves a workload by name. Graph workloads follow the
-// algorithm_nodes_param grammar and need not be in the CRONO set.
+// Find resolves a workload by name, validating it against the catalog.
+// Graph workloads follow the algorithm_nodes_param grammar and need not be
+// in the CRONO set.
 func Find(name string) (Workload, error) {
-	if w, ok := workloads.Get(name); ok {
-		return Workload{Name: name, factory: func() mem.Source { return w.Source(0) }}, nil
+	w := Workload{Name: name}
+	if _, err := w.factory(); err != nil {
+		return Workload{}, err
 	}
-	if g, err := graphs.Parse(name); err == nil {
-		return Workload{Name: name, factory: func() mem.Source { return g.Source(0) }}, nil
-	}
-	return Workload{}, fmt.Errorf("prophet: unknown workload %q", name)
+	return w, nil
 }
 
 // WithRecords returns a copy of the workload with an explicit trace length.
+// The copy stays fully resolvable: because resolution is lazy, there is no
+// way to end up with a workload whose override silently dropped — an
+// unresolvable name errors out at Run time instead.
 func (w Workload) WithRecords(records uint64) Workload {
-	out := w
-	out.Records = records
+	w.Records = records
+	return w
+}
+
+// factory resolves the workload name to a trace factory. Every call
+// re-resolves, so hand-constructed Workload values work and errors surface
+// where the workload is used.
+func (w Workload) factory() (pipeline.SourceFactory, error) {
+	if w.Name == "" {
+		return nil, fmt.Errorf("prophet: empty workload name")
+	}
+	records := w.Records
 	if wl, ok := workloads.Get(w.Name); ok {
-		out.factory = func() mem.Source { return wl.Source(records) }
-	} else if g, err := graphs.Parse(w.Name); err == nil {
-		out.factory = func() mem.Source { return g.Source(records) }
+		return func() mem.Source { return wl.Source(records) }, nil
 	}
-	return out
+	if g, err := graphs.Parse(w.Name); err == nil {
+		return func() mem.Source { return g.Source(records) }, nil
+	}
+	return nil, fmt.Errorf("prophet: unknown workload %q", w.Name)
 }
 
-func (w Workload) sourceFactory() pipeline.SourceFactory {
-	if w.factory == nil {
-		resolved, err := Find(w.Name)
-		if err != nil {
-			panic(err)
+// key identifies the workload's exact trace for baseline caching. Records
+// is normalized to the effective trace length, so the catalog default asked
+// for explicitly and as 0 share one cache entry — the traces are identical.
+func (w Workload) key() string {
+	records := w.Records
+	if records == 0 {
+		if wl, ok := workloads.Get(w.Name); ok {
+			records = wl.Spec.Records
+		} else if _, err := graphs.Parse(w.Name); err == nil {
+			records = graphs.DefaultRecords
 		}
-		return resolved.factory
 	}
-	return w.factory
+	return fmt.Sprintf("%s@%d", w.Name, records)
 }
 
-// Options configure the simulated system and the Prophet pipeline.
+// Open returns a fresh deterministic trace source for the workload — the
+// raw record stream the simulator consumes (used by tooling such as
+// cmd/tracegen).
+func (w Workload) Open() (mem.Source, error) {
+	f, err := w.factory()
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
+}
+
+// Options configure the simulated system and the Prophet pipeline. The
+// functional options of New cover the same knobs; Options remains the
+// bulk-configuration form (WithOptions) and the deprecated shims' input.
 type Options struct {
 	// ELAcc is the Equation 1 insertion threshold (default 0.15).
 	ELAcc float64
@@ -144,7 +193,8 @@ func (o Options) pipelineConfig() pipeline.Config {
 	return cfg
 }
 
-// RunStats summarizes one simulation run.
+// RunStats summarizes one simulation run. It is comparable: two identical
+// runs produce equal RunStats values.
 type RunStats struct {
 	// IPC is instructions per cycle.
 	IPC float64
@@ -161,6 +211,25 @@ type RunStats struct {
 	Accuracy float64
 	// MetaWays is the LLC ways held by the metadata table at end of run.
 	MetaWays int
+	// Raw exposes headline raw counters for tooling.
+	Raw RawStats
+}
+
+// RawStats carries the un-normalized counters behind RunStats.
+type RawStats struct {
+	Instructions    uint64
+	Cycles          uint64
+	L1Hits          uint64
+	L1Misses        uint64
+	L2DemandMisses  uint64
+	DRAMReads       uint64
+	DRAMWrites      uint64
+	TPIssued        uint64
+	TPUseful        uint64
+	TPUseless       uint64
+	TableInsertions uint64
+	TableLookups    uint64
+	TableHits       uint64
 }
 
 func summarize(s sim.Stats, base sim.Stats) RunStats {
@@ -172,13 +241,29 @@ func summarize(s sim.Stats, base sim.Stats) RunStats {
 		Coverage:          stats.Coverage(base.L2DemandMisses, s.L2DemandMisses),
 		Accuracy:          s.TPAccuracy(),
 		MetaWays:          s.MetaWays,
+		Raw: RawStats{
+			Instructions:    s.Core.Instructions,
+			Cycles:          s.Core.Cycles,
+			L1Hits:          s.L1.Hits,
+			L1Misses:        s.L1.Misses,
+			L2DemandMisses:  s.L2DemandMisses,
+			DRAMReads:       s.DRAM.Reads,
+			DRAMWrites:      s.DRAM.Writes,
+			TPIssued:        s.TPIssued,
+			TPUseful:        s.TPUseful,
+			TPUseless:       s.TPUseless,
+			TableInsertions: s.TableStats.Insertions,
+			TableLookups:    s.TableStats.Lookups,
+			TableHits:       s.TableStats.Hits,
+		},
 	}
 }
 
-// Scheme names a prefetching configuration for Evaluate.
+// Scheme names a prefetching configuration resolved through the scheme
+// registry.
 type Scheme string
 
-// The evaluated schemes.
+// The built-in schemes (each self-registered by its package).
 const (
 	Baseline Scheme = "baseline"
 	Triage   Scheme = "triage"
@@ -186,112 +271,3 @@ const (
 	RPG2     Scheme = "rpg2"
 	Prophet  Scheme = "prophet"
 )
-
-// Evaluate runs a workload under the named scheme with default options,
-// returning metrics normalized to the no-temporal-prefetching baseline.
-// Prophet profiles the workload once before the measured run (the Direct
-// flow of Figure 13).
-func Evaluate(w Workload, scheme Scheme) (RunStats, error) {
-	return EvaluateWith(w, scheme, DefaultOptions())
-}
-
-// EvaluateWith is Evaluate with explicit options.
-func EvaluateWith(w Workload, scheme Scheme, opts Options) (RunStats, error) {
-	cfg := opts.pipelineConfig()
-	factory := w.sourceFactory()
-	base := pipeline.RunBaseline(cfg.Sim, factory())
-	switch scheme {
-	case Baseline:
-		return summarize(base, base), nil
-	case Triage:
-		return summarize(pipeline.RunTriage(cfg.Sim, triage.Default(), factory()), base), nil
-	case Triangel:
-		return summarize(pipeline.RunTriangel(cfg.Sim, triangel.Default(), factory()), base), nil
-	case RPG2:
-		res := pipeline.RunRPG2(cfg.Sim, factory, 0)
-		return summarize(res.Stats, base), nil
-	case Prophet:
-		st, _ := pipeline.RunProphetDirect(cfg, factory)
-		return summarize(st, base), nil
-	}
-	return RunStats{}, fmt.Errorf("prophet: unknown scheme %q", scheme)
-}
-
-// Binary represents an optimized binary: the original program plus the
-// injected hint instructions and CSR manipulation (Section 4.4).
-type Binary struct {
-	// PCHints is the number of per-instruction hints injected (<= 128).
-	PCHints int
-	// MetaWays is the CSR resizing hint (Equation 3).
-	MetaWays int
-	// TPDisabled reports the Equation 3 disable verdict.
-	TPDisabled bool
-
-	hints   core.HintSet
-	weights map[mem.Addr]uint64
-}
-
-// Pipeline is the stateful Figure 5 loop: Profile inputs, Learn across
-// them, and Optimize into a Binary that adapts to every profiled input.
-type Pipeline struct {
-	opts Options
-	p    *pipeline.Prophet
-}
-
-// NewPipeline starts an empty pipeline.
-func NewPipeline(opts Options) *Pipeline {
-	return &Pipeline{opts: opts, p: pipeline.NewProphet(opts.pipelineConfig())}
-}
-
-// ProfileInput executes Steps 1 and 3 for one input: run it under the
-// simplified temporal prefetcher, collect PMU counters, and merge them into
-// the persistent profile (Equations 4-5).
-func (pl *Pipeline) ProfileInput(w Workload) {
-	pl.p.ProfileAndLearn(w.sourceFactory()())
-}
-
-// Loops returns how many inputs have been learned.
-func (pl *Pipeline) Loops() int { return pl.p.ProfileState().Loops }
-
-// Optimize executes Step 2: analyze the merged counters into hints and
-// "inject" them, producing the optimized Binary.
-func (pl *Pipeline) Optimize() Binary {
-	res := pl.p.Analyze()
-	return Binary{
-		PCHints:    len(res.Hints.PC),
-		MetaWays:   res.Hints.MetaWays,
-		TPDisabled: res.Hints.DisableTP,
-		hints:      res.Hints,
-		weights:    res.Weights,
-	}
-}
-
-// RunBinary executes the optimized binary on a workload, returning metrics
-// normalized to the no-temporal-prefetching baseline on the same trace.
-func (pl *Pipeline) RunBinary(b Binary, w Workload) RunStats {
-	cfg := pl.opts.pipelineConfig()
-	factory := w.sourceFactory()
-	base := pipeline.RunBaseline(cfg.Sim, factory())
-	engine := core.New(cfg.Prophet, b.hints, b.weights)
-	st := sim.Run(cfg.Sim, engine, nil, nil, nil, factory())
-	return summarize(st, base)
-}
-
-// Experiment reproduces one of the paper's tables or figures by ID (see
-// ExperimentIDs) and returns its rendered text.
-func Experiment(id string, quick bool) (string, error) {
-	res, err := experiments.Run(id, experiments.Options{Quick: quick})
-	if err != nil {
-		return "", err
-	}
-	return res.Render(), nil
-}
-
-// ExperimentIDs lists the reproducible artifacts in paper order.
-func ExperimentIDs() []string {
-	var out []string
-	for _, e := range experiments.Registry() {
-		out = append(out, e.ID)
-	}
-	return out
-}
