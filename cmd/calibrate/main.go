@@ -26,7 +26,13 @@ func main() {
 	only := flag.String("only", "", "run a single workload by name")
 	graphsToo := flag.Bool("graphs", false, "include CRONO graph workloads")
 	workers := flag.Int("workers", 0, "sweep worker pool (0 = all CPUs)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("calibrate", prophet.Version())
+		return
+	}
 
 	var names []string
 	for _, w := range workloads.SPEC() {

@@ -16,6 +16,8 @@ import (
 	"strings"
 	"time"
 
+	"prophet"
+
 	"prophet/internal/experiments"
 )
 
@@ -25,7 +27,13 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workload sets and trace lengths")
 	records := flag.Uint64("records", 0, "override memory records per run (0 = workload default)")
 	workers := flag.Int("workers", 0, "worker pool per experiment (0 = all CPUs, 1 = serial; output is byte-identical either way)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("experiments", prophet.Version())
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {

@@ -30,7 +30,13 @@ func main() {
 	prioBits := flag.Int("priority-bits", 2, "replacement priority bits n (Equation 2)")
 	mvbCand := flag.Int("mvb-candidates", 1, "Multi-path Victim Buffer candidates per lookup")
 	learnL := flag.Int("learn-l", 4, "Equation 4 designer parameter L")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("prophet", prophet.Version())
+		return
+	}
 
 	if *inputs == "" {
 		fmt.Fprintln(os.Stderr, "need -inputs (e.g. -inputs gcc_166,gcc_expr)")

@@ -1,0 +1,104 @@
+// Command prophetd serves the evaluation engine over HTTP/JSON: single
+// runs, concurrent sweeps (sync or async through a bounded job queue), and
+// the Figure 5 profile→optimize→run loop as stateful session resources.
+// Results are cached serving-side (LRU + TTL) and duplicate in-flight
+// requests coalesce onto one simulation; GET /v1/stats exposes the
+// counters. See the "Running the service" section of README.md for the
+// endpoint table and example requests.
+//
+// Usage:
+//
+//	prophetd                          # serve on :8373 with default engine
+//	prophetd -addr :9000 -workers 8
+//	prophetd -cache-ttl 1h -queue 128
+//	prophetd -version
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, open
+// connections drain, queued jobs are cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prophet"
+
+	"prophet/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8373", "listen address")
+	workers := flag.Int("workers", 0, "sweep worker pool (0 = all CPUs)")
+	elAcc := flag.Float64("el-acc", 0.15, "EL_ACC insertion threshold (Equation 1)")
+	prioBits := flag.Int("priority-bits", 2, "replacement priority bits n (Equation 2)")
+	mvbCand := flag.Int("mvb-candidates", 1, "Multi-path Victim Buffer candidates per lookup")
+	learnL := flag.Int("learn-l", 4, "Equation 4 designer parameter L")
+	channels := flag.Int("channels", 1, "DRAM channels")
+	cacheEntries := flag.Int("cache-entries", 256, "result cache capacity (-1 = unbounded)")
+	cacheTTL := flag.Duration("cache-ttl", 10*time.Minute, "result cache TTL (-1s = never expire)")
+	jobWorkers := flag.Int("job-workers", 2, "async job pool size")
+	queueDepth := flag.Int("queue", 64, "async job queue bound")
+	jobRetention := flag.Int("job-retention", 256, "finished jobs kept for polling before eviction")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println("prophetd", prophet.Version())
+		return
+	}
+
+	ev := prophet.New(
+		prophet.WithWorkers(*workers),
+		prophet.WithELAcc(*elAcc),
+		prophet.WithPriorityBits(*prioBits),
+		prophet.WithMVBCandidates(*mvbCand),
+		prophet.WithLearningL(*learnL),
+		prophet.WithDRAMChannels(*channels),
+	)
+	srv := server.New(server.Config{
+		Evaluator:    ev,
+		CacheEntries: *cacheEntries,
+		CacheTTL:     *cacheTTL,
+		JobWorkers:   *jobWorkers,
+		QueueDepth:   *queueDepth,
+		JobRetention: *jobRetention,
+	})
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("prophetd %s listening on %s (%d sweep workers, %d job workers, queue %d)",
+		prophet.Version(), *addr, ev.Workers(), *jobWorkers, *queueDepth)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down (draining up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("job drain: %v", err)
+	}
+	log.Printf("bye")
+}

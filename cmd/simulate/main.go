@@ -28,7 +28,13 @@ func main() {
 	channels := flag.Int("channels", 1, "DRAM channels")
 	l1pf := flag.String("l1pf", "stride", "L1 prefetcher: stride | ipcp | none")
 	list := flag.Bool("list-schemes", false, "list registered schemes and exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("simulate", prophet.Version())
+		return
+	}
 
 	opts := []prophet.Option{prophet.WithDRAMChannels(*channels)}
 	switch *l1pf {

@@ -5,8 +5,12 @@
 // Usage:
 //
 //	tracegen -workload omnetpp -records 100000 -o omnetpp.trc
-//	tracegen -workload bfs_100000_16 -o bfs.trc
+//	tracegen -workload bfs_100000_16 -o bfs.trc.gz   # gzip-compressed
 //	tracegen -workload mcf -stats            # print a pattern summary only
+//
+// A ".gz" output suffix selects gzip compression; either form round-trips
+// through the "file:<path>" workload source (cmd/simulate -workload
+// file:omnetpp.trc, or the daemon's POST /v1/evaluate).
 package main
 
 import (
@@ -22,9 +26,15 @@ import (
 func main() {
 	workload := flag.String("workload", "omnetpp", "workload name")
 	records := flag.Uint64("records", 0, "memory records (0 = workload default)")
-	out := flag.String("o", "", "output trace file (required unless -stats)")
+	out := flag.String("o", "", "output trace file; a .gz suffix gzip-compresses (required unless -stats)")
 	statsOnly := flag.Bool("stats", false, "print trace statistics instead of writing a file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("tracegen", prophet.Version())
+		return
+	}
 
 	w, err := prophet.Find(*workload)
 	if err != nil {
@@ -45,15 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -o <file> (or -stats)")
 		os.Exit(1)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	n, err := mem.WriteTrace(f, src)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
+	n, err := mem.WriteTraceFile(*out, src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,109 @@
+// Tests enforcing the one-release compatibility promise: the deprecated
+// shims (Evaluate, EvaluateWith, Pipeline) must produce byte-identical
+// RunStats to the Evaluator/Session path they delegate to. RunStats is a
+// comparable value type, so == is a full bit-for-bit comparison.
+package prophet_test
+
+import (
+	"context"
+	"testing"
+
+	"prophet"
+)
+
+func shimWorkload(t *testing.T) prophet.Workload {
+	t.Helper()
+	w, err := prophet.Find("xalancbmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.WithRecords(20_000)
+}
+
+// TestEvaluateShimMatchesEvaluator: prophet.Evaluate == New().Run with
+// default options, per scheme.
+func TestEvaluateShimMatchesEvaluator(t *testing.T) {
+	w := shimWorkload(t)
+	for _, scheme := range []prophet.Scheme{prophet.Baseline, prophet.Triage, prophet.Triangel} {
+		old, err := prophet.Evaluate(w, scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		now, err := prophet.New(prophet.WithWorkers(1)).Run(context.Background(), w, scheme)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if old != now {
+			t.Errorf("%s: Evaluate shim diverged:\n shim      %+v\n evaluator %+v", scheme, old, now)
+		}
+	}
+}
+
+// TestEvaluateWithShimMatchesEvaluator: non-default options flow through
+// the shim identically to WithOptions.
+func TestEvaluateWithShimMatchesEvaluator(t *testing.T) {
+	w := shimWorkload(t)
+	opts := prophet.DefaultOptions()
+	opts.ELAcc = 0.3
+	opts.PriorityBits = 3
+	opts.DRAMChannels = 2
+
+	old, err := prophet.EvaluateWith(w, prophet.Prophet, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err := prophet.New(prophet.WithOptions(opts), prophet.WithWorkers(1)).
+		Run(context.Background(), w, prophet.Prophet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != now {
+		t.Errorf("EvaluateWith shim diverged:\n shim      %+v\n evaluator %+v", old, now)
+	}
+}
+
+// TestPipelineShimMatchesSession: the multi-input Figure 5 flow through the
+// deprecated Pipeline equals the Session path, including cross-input
+// learning (two profiled inputs, evaluated on a third).
+func TestPipelineShimMatchesSession(t *testing.T) {
+	var ws []prophet.Workload
+	for _, name := range []string{"gcc_166", "gcc_200", "gcc_expr"} {
+		w, err := prophet.Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w.WithRecords(20_000))
+	}
+
+	pl := prophet.NewPipeline(prophet.DefaultOptions())
+	pl.ProfileInput(ws[0])
+	pl.ProfileInput(ws[1])
+	oldBin := pl.Optimize()
+	old := pl.RunBinary(oldBin, ws[2])
+	if err := pl.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := prophet.New(prophet.WithWorkers(1)).NewSession()
+	for _, w := range ws[:2] {
+		if err := s.Profile(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newBin := s.Optimize()
+	now, err := s.Run(context.Background(), newBin, ws[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if oldBin.PCHints != newBin.PCHints || oldBin.MetaWays != newBin.MetaWays ||
+		oldBin.TPDisabled != newBin.TPDisabled {
+		t.Errorf("optimized binaries diverged: shim %v, session %v", oldBin, newBin)
+	}
+	if old != now {
+		t.Errorf("Pipeline shim diverged from Session:\n shim    %+v\n session %+v", old, now)
+	}
+	if pl.Loops() != 2 || s.Loops() != 2 {
+		t.Errorf("loop counts: shim %d, session %d, want 2", pl.Loops(), s.Loops())
+	}
+}

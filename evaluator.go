@@ -78,6 +78,9 @@ func New(opts ...Option) *Evaluator {
 	switch e.l1pf {
 	case L1IPCP:
 		cfg.Sim.L1PF = sim.L1IPCP
+		// Keep the bulk Options form in sync so Options() reports the
+		// configuration actually simulated.
+		e.opts.IPCPPrefetcher = true
 	case L1None:
 		cfg.Sim.L1PF = sim.L1None
 	}
@@ -87,6 +90,13 @@ func New(opts ...Option) *Evaluator {
 
 // Workers reports the sweep pool width actually in use.
 func (e *Evaluator) Workers() int { return e.eng.Workers() }
+
+// Options reports the resolved configuration the evaluator was built with
+// (functional options folded into the bulk form) — introspection for
+// services that surface their engine's knobs. L1None has no representation
+// in the legacy Options struct; WithL1Prefetcher(L1None) reports as the
+// default.
+func (e *Evaluator) Options() Options { return e.opts }
 
 // BaselineCacheStats reports baseline cache hits and misses so far — each
 // miss is one no-prefetching simulation; each hit is one such simulation
@@ -147,13 +157,21 @@ func (e *Evaluator) Run(ctx context.Context, w Workload, scheme Scheme) (RunStat
 
 // RunDetailed is Run plus scheme-specific metadata.
 func (e *Evaluator) RunDetailed(ctx context.Context, w Workload, scheme Scheme) (Report, error) {
-	job, err := e.job(Job{Workload: w, Scheme: scheme})
+	return e.RunJob(ctx, Job{Workload: w, Scheme: scheme})
+}
+
+// RunJob evaluates one sweep job synchronously — RunDetailed plus the
+// job-level knobs (TuneRecords). Single-run callers that need those knobs
+// (the prophetd evaluate endpoint) use this instead of building a
+// one-element Sweep.
+func (e *Evaluator) RunJob(ctx context.Context, j Job) (Report, error) {
+	job, err := e.job(j)
 	if err != nil {
 		return Report{}, err
 	}
 	out := e.eng.Run(ctx, job)
 	if out.Err != nil {
-		return Report{}, fmt.Errorf("prophet: %s under %s: %w", w.Name, scheme, out.Err)
+		return Report{}, fmt.Errorf("prophet: %s under %s: %w", j.Workload.Name, j.Scheme, out.Err)
 	}
 	return Report{Stats: summarize(out.Stats, out.Base), Meta: out.Meta}, nil
 }

@@ -2,10 +2,13 @@ package mem
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"strings"
 )
 
 // Trace file format (little-endian):
@@ -51,6 +54,57 @@ func WriteTrace(w io.Writer, src Source) (uint64, error) {
 		}
 	}
 	return uint64(len(recs)), bw.Flush()
+}
+
+// WriteTraceFile writes all records from src to the named file,
+// gzip-compressing when the path ends in ".gz". It returns the number of
+// records written; ReadTraceFile round-trips either form byte-identically.
+func WriteTraceFile(path string, src Source) (uint64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	var w io.Writer = f
+	var zw *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+	}
+	n, err := WriteTrace(w, src)
+	if zw != nil {
+		if cerr := zw.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// ReadTraceFile reads an entire trace file written by WriteTraceFile (or by
+// WriteTrace to a plain file), transparently decompressing gzip. Compression
+// is detected from the stream's leading magic bytes, not the file name, so
+// renamed files still load.
+func ReadTraceFile(path string) ([]Access, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		defer zr.Close()
+		return ReadTrace(zr)
+	}
+	return ReadTrace(br)
 }
 
 // ReadTrace reads an entire trace file produced by WriteTrace.

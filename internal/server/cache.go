@@ -1,0 +1,163 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CacheStats is a point-in-time snapshot of the serving cache, surfaced at
+// GET /v1/stats. Hits+Misses+Coalesced equals the number of cache-routed
+// requests; Misses equals the number of simulations actually executed for
+// them (each coalesced request piggybacked on a miss in flight).
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Expired   int64 `json:"expired"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// cacheEntry is one cached (or in-flight) computation. While pending, done
+// is open and waiters block on it; val/err are written exactly once, before
+// done closes, so post-close reads need no lock.
+type cacheEntry struct {
+	key     string
+	pending bool
+	done    chan struct{}
+	val     any
+	err     error
+	expires time.Time
+	elem    *list.Element
+}
+
+// resultCache is the serving-side result cache above the engine: an LRU
+// with TTL expiry, keyed by canonicalized request, where duplicate
+// in-flight requests coalesce onto one computation (singleflight). It
+// extends the per-workload baseline cache pattern of internal/pipeline one
+// layer up: the baseline cache amortizes the denominator of one evaluator,
+// this cache amortizes whole request results across HTTP clients.
+type resultCache struct {
+	max int           // max entries; <= 0 means unbounded
+	ttl time.Duration // entry lifetime; <= 0 means never expires
+	now func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recently used; values are *cacheEntry
+
+	hits, misses, coalesced, expired, evictions int64
+}
+
+func newResultCache(max int, ttl time.Duration, now func() time.Time) *resultCache {
+	if now == nil {
+		now = time.Now
+	}
+	return &resultCache{
+		max:     max,
+		ttl:     ttl,
+		now:     now,
+		entries: map[string]*cacheEntry{},
+		lru:     list.New(),
+	}
+}
+
+// Do returns the cached value for key, or computes it. Concurrent calls for
+// the same key run compute exactly once: the first caller computes on its
+// own goroutine, the rest block until it finishes (or their ctx is
+// cancelled) and share the result. Failed computations are not cached, so
+// the next request retries.
+func (c *resultCache) Do(ctx context.Context, key string, compute func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.pending {
+			c.coalesced++
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+				return e.val, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if c.ttl <= 0 || c.now().Before(e.expires) {
+			c.hits++
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			return e.val, e.err
+		}
+		c.expired++
+		c.remove(e)
+	}
+	c.misses++
+	e := &cacheEntry{key: key, pending: true, done: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	val, err := func() (v any, err error) {
+		// A panicking compute must not leave waiters blocked forever.
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("server: compute panicked: %v", p)
+			}
+		}()
+		return compute()
+	}()
+
+	c.mu.Lock()
+	e.val, e.err = val, err
+	e.pending = false
+	if err != nil {
+		c.remove(e)
+	} else {
+		if c.ttl > 0 {
+			e.expires = c.now().Add(c.ttl)
+		}
+		c.evict()
+	}
+	close(e.done)
+	c.mu.Unlock()
+	return val, err
+}
+
+// remove unlinks an entry. Callers hold c.mu.
+func (c *resultCache) remove(e *cacheEntry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+}
+
+// evict drops least-recently-used completed entries until the cache fits
+// its bound. Pending entries are never evicted — their waiters hold
+// references. Callers hold c.mu.
+func (c *resultCache) evict() {
+	if c.max <= 0 {
+		return
+	}
+	for el := c.lru.Back(); el != nil && c.lru.Len() > c.max; {
+		e := el.Value.(*cacheEntry)
+		el = el.Prev()
+		if e.pending {
+			continue
+		}
+		c.remove(e)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *resultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Expired:   c.expired,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+	}
+}

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutable time source for TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestCacheHitMissAndTTL(t *testing.T) {
+	clk := newFakeClock()
+	c := newResultCache(8, time.Minute, clk.Now)
+	var computes atomic.Int64
+	get := func() (any, error) {
+		v, err := c.Do(context.Background(), "k", func() (any, error) {
+			computes.Add(1)
+			return 42, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, err
+	}
+
+	if v, _ := get(); v != 42 {
+		t.Fatalf("got %v, want 42", v)
+	}
+	if v, _ := get(); v != 42 {
+		t.Fatalf("got %v, want 42", v)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1 (second call must hit)", n)
+	}
+
+	clk.Advance(2 * time.Minute)
+	get()
+	if n := computes.Load(); n != 2 {
+		t.Fatalf("computed %d times after TTL expiry, want 2", n)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Expired != 1 {
+		t.Fatalf("stats %+v, want hits=1 misses=2 expired=1", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2, 0, nil)
+	ctx := context.Background()
+	compute := func(v int) func() (any, error) {
+		return func() (any, error) { return v, nil }
+	}
+	c.Do(ctx, "a", compute(1))
+	c.Do(ctx, "b", compute(2))
+	c.Do(ctx, "a", compute(0)) // touch a: b becomes LRU
+	c.Do(ctx, "c", compute(3)) // evicts b
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want entries=2 evictions=1", st)
+	}
+	var recomputed atomic.Bool
+	v, _ := c.Do(ctx, "a", func() (any, error) { recomputed.Store(true); return -1, nil })
+	if recomputed.Load() || v != 1 {
+		t.Fatalf("a was evicted (got %v, recomputed=%v); LRU should have kept it", v, recomputed.Load())
+	}
+	if _, err := c.Do(ctx, "b", func() (any, error) { return nil, errors.New("recompute b") }); err == nil {
+		t.Fatal("b survived eviction")
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newResultCache(8, time.Minute, nil)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	if _, err := c.Do(ctx, "k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := c.Do(ctx, "k", func() (any, error) { return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("retry after error: v=%v err=%v", v, err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("stats %+v: failed compute must not occupy the cache", st)
+	}
+}
+
+func TestCacheCoalescing(t *testing.T) {
+	c := newResultCache(8, time.Minute, nil)
+	const waiters = 7
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]any, waiters+1)
+	do := func(i int) {
+		defer wg.Done()
+		v, err := c.Do(context.Background(), "k", func() (any, error) {
+			computes.Add(1)
+			close(started)
+			<-release
+			return "shared", nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results[i] = v
+	}
+	wg.Add(1)
+	go do(0)
+	<-started
+	// The leader is now inside compute: every new request must coalesce.
+	wg.Add(waiters)
+	for i := 1; i <= waiters; i++ {
+		go do(i)
+	}
+	// Wait until all waiters have registered before releasing.
+	for {
+		if c.Stats().Coalesced == waiters {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times for %d concurrent requests, want 1", n, waiters+1)
+	}
+	for i, v := range results {
+		if v != "shared" {
+			t.Fatalf("request %d got %v, want shared", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != waiters {
+		t.Fatalf("stats %+v, want misses=1 coalesced=%d", st, waiters)
+	}
+}
+
+func TestCacheCoalescedWaiterHonorsContext(t *testing.T) {
+	c := newResultCache(8, time.Minute, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), "k", func() (any, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Do(ctx, "k", func() (any, error) { return 2, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}

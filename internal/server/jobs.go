@@ -1,0 +1,273 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobState is an async job's lifecycle phase.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing it.
+	JobRunning JobState = "running"
+	// JobDone: finished successfully; Result is set.
+	JobDone JobState = "done"
+	// JobFailed: finished with a non-cancellation error.
+	JobFailed JobState = "failed"
+	// JobCanceled: cancelled before or during execution (shutdown).
+	JobCanceled JobState = "canceled"
+)
+
+// JobInfo is the externally visible state of one async job, as returned by
+// GET /v1/jobs/{id}.
+type JobInfo struct {
+	ID       string    `json:"id"`
+	Kind     string    `json:"kind"`
+	State    JobState  `json:"state"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+	Error    string    `json:"error,omitempty"`
+	Result   any       `json:"result,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (i JobInfo) Terminal() bool {
+	return i.State == JobDone || i.State == JobFailed || i.State == JobCanceled
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at capacity;
+// the HTTP layer maps it to 503 so clients back off instead of piling up.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrShuttingDown is returned by Submit after Shutdown began.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+type job struct {
+	info JobInfo
+	fn   func(ctx context.Context) (any, error)
+}
+
+// jobStore runs async jobs on a fixed worker pool over a bounded queue.
+// Jobs execute under the store's lifecycle context: Shutdown cancels it, so
+// queued jobs die quickly as workers drain them and in-flight jobs observe
+// cancellation at their next context check (the sweep engine checks per
+// job-dispatch; individual simulations run to completion).
+type jobStore struct {
+	queue   chan *job
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	running atomic.Int64
+	now     func() time.Time
+	retain  int
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	seq    int
+	closed bool
+}
+
+func newJobStore(workers, depth, retain int, now func() time.Time) *jobStore {
+	if workers <= 0 {
+		workers = 2
+	}
+	if depth <= 0 {
+		depth = 64
+	}
+	if retain <= 0 {
+		retain = 256
+	}
+	if now == nil {
+		now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &jobStore{
+		queue:  make(chan *job, depth),
+		ctx:    ctx,
+		cancel: cancel,
+		now:    now,
+		retain: retain,
+		jobs:   map[string]*job{},
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *jobStore) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+func (s *jobStore) run(j *job) {
+	if s.ctx.Err() != nil {
+		s.finish(j, nil, s.ctx.Err())
+		return
+	}
+	s.mu.Lock()
+	j.info.State = JobRunning
+	j.info.Started = s.now()
+	s.mu.Unlock()
+	s.running.Add(1)
+	val, err := func() (v any, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("server: job panicked: %v", p)
+			}
+		}()
+		return j.fn(s.ctx)
+	}()
+	s.running.Add(-1)
+	s.finish(j, val, err)
+}
+
+func (s *jobStore) finish(j *job, val any, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.info.Finished = s.now()
+	switch {
+	case err == nil:
+		j.info.State = JobDone
+		j.info.Result = val
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.info.State = JobCanceled
+		j.info.Error = err.Error()
+	default:
+		j.info.State = JobFailed
+		j.info.Error = err.Error()
+	}
+	s.evict()
+}
+
+// evict drops the oldest terminal jobs (and their Result payloads) beyond
+// the retention bound, so a long-lived daemon under steady async traffic
+// holds a window of history instead of every sweep ever run. Live
+// (queued/running) jobs are never evicted. Callers hold s.mu.
+func (s *jobStore) evict() {
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].info.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= s.retain {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if terminal > s.retain && s.jobs[id].info.Terminal() {
+			delete(s.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Submit enqueues fn as a new job and returns its ID without waiting. The
+// queue is bounded: at capacity, Submit fails fast with ErrQueueFull rather
+// than blocking the caller's connection.
+func (s *jobStore) Submit(kind string, fn func(ctx context.Context) (any, error)) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrShuttingDown
+	}
+	id := fmt.Sprintf("job-%d", s.seq+1)
+	j := &job{
+		info: JobInfo{ID: id, Kind: kind, State: JobQueued, Created: s.now()},
+		fn:   fn,
+	}
+	// Reserve the queue slot before registering: a worker may pick the job
+	// up immediately, but its state writes serialize behind this lock, so
+	// the job is always registered before any observable transition.
+	select {
+	case s.queue <- j:
+	default:
+		return "", ErrQueueFull
+	}
+	s.seq++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return id, nil
+}
+
+// Get returns a snapshot of one job.
+func (s *jobStore) Get(id string) (JobInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.info, true
+}
+
+// List snapshots every job in submission order.
+func (s *jobStore) List() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobInfo, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].info)
+	}
+	return out
+}
+
+// Depth reports how many jobs are queued but not yet picked up.
+func (s *jobStore) Depth() int { return len(s.queue) }
+
+// Len reports how many jobs the store currently tracks (live + retained).
+func (s *jobStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// Running reports how many jobs are executing right now.
+func (s *jobStore) Running() int { return int(s.running.Load()) }
+
+// Shutdown stops intake, cancels the lifecycle context (queued jobs are
+// drained straight to canceled — by Shutdown itself, so they die even while
+// every worker is busy; in-flight jobs see cancellation at their next
+// context check), and waits for workers up to ctx's deadline.
+func (s *jobStore) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cancel()
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	// Drain whatever the workers haven't picked up. Channel receive
+	// semantics guarantee each queued job lands exactly once — here or in a
+	// worker's run(), which also observes the cancelled context.
+	for j := range s.queue {
+		s.finish(j, nil, context.Canceled)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

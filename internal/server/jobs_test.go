@@ -1,0 +1,166 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func waitState(t *testing.T, s *jobStore, id string, want JobState) JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		info, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if info.State == want {
+			return info
+		}
+		time.Sleep(time.Millisecond)
+	}
+	info, _ := s.Get(id)
+	t.Fatalf("job %s stuck in %s, want %s", id, info.State, want)
+	return JobInfo{}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s := newJobStore(1, 4, 0, nil)
+	defer s.Shutdown(context.Background())
+
+	id, err := s.Submit("test", func(ctx context.Context) (any, error) { return "v", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitState(t, s, id, JobDone)
+	if info.Result != "v" || info.Error != "" || !info.Terminal() {
+		t.Fatalf("done job info %+v", info)
+	}
+	if info.Created.IsZero() || info.Started.IsZero() || info.Finished.IsZero() {
+		t.Fatalf("missing timestamps: %+v", info)
+	}
+
+	id2, _ := s.Submit("test", func(ctx context.Context) (any, error) { return nil, errors.New("nope") })
+	if info := waitState(t, s, id2, JobFailed); info.Error != "nope" {
+		t.Fatalf("failed job info %+v", info)
+	}
+
+	if _, ok := s.Get("job-999"); ok {
+		t.Fatal("unknown job id resolved")
+	}
+	if got := len(s.List()); got != 2 {
+		t.Fatalf("List returned %d jobs, want 2", got)
+	}
+}
+
+func TestJobQueueBound(t *testing.T) {
+	s := newJobStore(1, 2, 0, nil)
+	defer s.Shutdown(context.Background())
+	block := make(chan struct{})
+	defer close(block)
+
+	running := make(chan struct{})
+	s.Submit("blocker", func(ctx context.Context) (any, error) { close(running); <-block; return nil, nil })
+	<-running
+	// Worker busy: the queue (depth 2) absorbs exactly two more.
+	if _, err := s.Submit("q1", func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("q2", func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("overflow", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if d := s.Depth(); d != 2 {
+		t.Fatalf("Depth = %d, want 2", d)
+	}
+}
+
+// TestJobShutdownCancelsQueued is the store-level half of acceptance
+// criterion (c): shutdown drains queued jobs straight to canceled while the
+// in-flight job observes a cancelled context.
+func TestJobShutdownCancelsQueued(t *testing.T) {
+	s := newJobStore(1, 4, 0, nil)
+	release := make(chan struct{})
+	running := make(chan struct{})
+
+	inflight, _ := s.Submit("inflight", func(ctx context.Context) (any, error) {
+		close(running)
+		<-release
+		return nil, ctx.Err() // a well-behaved job reports cancellation
+	})
+	<-running
+	queued, _ := s.Submit("queued", func(ctx context.Context) (any, error) { return "never", nil })
+
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(context.Background()) }()
+
+	// The queued job must die without running, while the worker is still
+	// blocked in the in-flight one.
+	waitState(t, s, queued, JobCanceled)
+	if info, _ := s.Get(inflight); info.State != JobRunning {
+		t.Fatalf("in-flight job state %s before release, want running", info.State)
+	}
+	if _, err := s.Submit("late", nil); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("Submit during shutdown: err = %v, want ErrShuttingDown", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if info, _ := s.Get(inflight); info.State != JobCanceled {
+		t.Fatalf("in-flight job state %s after shutdown, want canceled (its ctx was cancelled)", info.State)
+	}
+}
+
+// TestJobRetention: finished jobs beyond the retention bound are evicted
+// oldest-first; live jobs are never evicted.
+func TestJobRetention(t *testing.T) {
+	s := newJobStore(1, 8, 2, nil)
+	defer s.Shutdown(context.Background())
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := s.Submit("quick", func(ctx context.Context) (any, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		waitState(t, s, id, JobDone)
+	}
+	if _, ok := s.Get(ids[0]); ok {
+		t.Fatalf("oldest job %s survived retention of 2", ids[0])
+	}
+	if _, ok := s.Get(ids[1]); ok {
+		t.Fatalf("job %s survived retention of 2", ids[1])
+	}
+	for _, id := range ids[2:] {
+		if _, ok := s.Get(id); !ok {
+			t.Fatalf("recent job %s was evicted", id)
+		}
+	}
+	if got := len(s.List()); got != 2 {
+		t.Fatalf("List returned %d jobs, want 2", got)
+	}
+}
+
+func TestJobShutdownDeadline(t *testing.T) {
+	s := newJobStore(1, 4, 0, nil)
+	release := make(chan struct{})
+	running := make(chan struct{})
+	s.Submit("stuck", func(ctx context.Context) (any, error) { close(running); <-release; return nil, nil })
+	<-running
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown with stuck worker: err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package server implements prophetd's HTTP/JSON API: the full evaluation
+// engine — single runs, concurrent sweeps, and the Figure 5
+// profile→optimize→run loop — exposed as a long-lived service.
+//
+// The layering mirrors the engine's own caching story one level up:
+//
+//   - internal/pipeline caches per-workload baselines inside one Evaluator
+//     (every normalized metric shares its denominator);
+//   - this package caches whole request results across HTTP clients (LRU +
+//     TTL, keyed by canonicalized request), and coalesces duplicate
+//     in-flight requests onto a single simulation (singleflight);
+//   - long-running sweeps go through a bounded async job queue with
+//     lifecycle-context cancellation, so graceful shutdown drains
+//     connections and cancels work instead of abandoning it.
+//
+// Everything the engine guarantees — determinism across worker counts,
+// errors-never-panics — holds through the HTTP layer: a fixed request body
+// yields byte-identical response bodies whatever the concurrency.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"strings"
+	"time"
+
+	"prophet"
+
+	"prophet/internal/mem"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Evaluator is the engine to serve. Nil builds a default prophet.New().
+	Evaluator *prophet.Evaluator
+	// CacheEntries bounds the result cache (default 256; <0 disables the
+	// bound).
+	CacheEntries int
+	// CacheTTL expires cached results (default 10m; <0 caches forever).
+	CacheTTL time.Duration
+	// JobWorkers sizes the async job pool (default 2).
+	JobWorkers int
+	// QueueDepth bounds the async job queue (default 64).
+	QueueDepth int
+	// JobRetention bounds how many finished jobs (and their results) are
+	// kept for polling before the oldest are evicted (default 256).
+	JobRetention int
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Server is the prophetd request handler set plus its serving-side state:
+// result cache, async job store, and session registry. Construct with New,
+// mount Handler on an http.Server, and Close on the way out.
+type Server struct {
+	ev    *prophet.Evaluator
+	cache *resultCache
+	jobs  *jobStore
+	sess  *sessionStore
+	mux   *http.ServeMux
+	now   func() time.Time
+	start time.Time
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Evaluator == nil {
+		cfg.Evaluator = prophet.New()
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.CacheTTL == 0 {
+		cfg.CacheTTL = 10 * time.Minute
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	s := &Server{
+		ev:    cfg.Evaluator,
+		cache: newResultCache(cfg.CacheEntries, cfg.CacheTTL, now),
+		jobs:  newJobStore(cfg.JobWorkers, cfg.QueueDepth, cfg.JobRetention, now),
+		sess:  newSessionStore(now),
+		now:   now,
+		start: now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/profile", s.handleSessionProfile)
+	mux.HandleFunc("POST /v1/sessions/{id}/optimize", s.handleSessionOptimize)
+	mux.HandleFunc("POST /v1/sessions/{id}/run", s.handleSessionRun)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the routed handler for mounting on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the async machinery down: job intake stops, queued jobs are
+// cancelled, and workers are awaited up to ctx's deadline. Call after (or
+// concurrently with) http.Server.Shutdown — in-flight HTTP requests
+// coalesced on the cache drain on their own.
+func (s *Server) Close(ctx context.Context) error {
+	return s.jobs.Shutdown(ctx)
+}
+
+// VersionResponse is the GET /v1/version body.
+type VersionResponse struct {
+	Version string `json:"version"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionResponse{Version: prophet.Version()})
+}
+
+// WorkloadsResponse is the GET /v1/workloads body.
+type WorkloadsResponse struct {
+	Workloads []prophet.WorkloadInfo `json:"workloads"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, WorkloadsResponse{Workloads: prophet.CatalogInfo()})
+}
+
+// SchemesResponse is the GET /v1/schemes body.
+type SchemesResponse struct {
+	Schemes []string `json:"schemes"`
+}
+
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, SchemesResponse{Schemes: s.ev.Schemes()})
+}
+
+// StatsResponse is the GET /v1/stats body: the daemon's operational
+// introspection surface (load tests watch these counters).
+type StatsResponse struct {
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Workers       int     `json:"workers"`
+	// Options is the engine configuration actually being simulated.
+	Options prophet.Options `json:"options"`
+	Cache   CacheStats      `json:"cache"`
+	Baseline      struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"baseline"`
+	Jobs struct {
+		Depth   int `json:"depth"`
+		Running int `json:"running"`
+		Total   int `json:"total"`
+	} `json:"jobs"`
+	Sessions int `json:"sessions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	resp.Version = prophet.Version()
+	resp.UptimeSeconds = s.now().Sub(s.start).Seconds()
+	resp.Workers = s.ev.Workers()
+	resp.Options = s.ev.Options()
+	resp.Cache = s.cache.Stats()
+	resp.Baseline.Hits, resp.Baseline.Misses = s.ev.BaselineCacheStats()
+	resp.Jobs.Depth = s.jobs.Depth()
+	resp.Jobs.Running = s.jobs.Running()
+	resp.Jobs.Total = s.jobs.Len()
+	resp.Sessions = s.sess.Len()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// JobsResponse is the GET /v1/jobs body.
+type JobsResponse struct {
+	Jobs []JobInfo `json:"jobs"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, JobsResponse{Jobs: s.jobs.List()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// decodeJSON strictly decodes a request body into v: unknown fields and
+// trailing garbage are errors, so client typos surface as 400s instead of
+// silently-defaulted runs.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("invalid request body: trailing data")
+	}
+	return nil
+}
+
+// statusFor maps an engine error to an HTTP status: resolution failures
+// (unknown workload/scheme, missing or malformed trace file) are the
+// client's fault. File errors carry sentinels (fs.ErrNotExist,
+// mem.ErrBadTrace); the catalog errors are plain fmt.Errorf values, so
+// those are matched by their stable message prefixes.
+func statusFor(err error) int {
+	if errors.Is(err, fs.ErrNotExist) || errors.Is(err, mem.ErrBadTrace) {
+		return http.StatusBadRequest
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "unknown workload") || strings.Contains(msg, "unknown scheme") ||
+		strings.Contains(msg, "empty workload name") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}

@@ -50,6 +50,10 @@ package prophet
 
 import (
 	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
 
 	"prophet/internal/graphs"
 	"prophet/internal/mem"
@@ -63,8 +67,13 @@ import (
 // is invalid; construct with Find, or fill Name directly — resolution
 // happens lazily at run time, and unknown names surface as errors from
 // Evaluator.Run (never a panic).
+//
+// Beyond the catalog, a "file:<path>" name replays an exported trace file
+// (cmd/tracegen output, plain or gzip), so recorded traces run through the
+// same Evaluator/Sweep/daemon machinery as generated ones.
 type Workload struct {
-	// Name is the catalog identifier ("mcf", "gcc_166", "bfs_100000_16").
+	// Name is the catalog identifier ("mcf", "gcc_166", "bfs_100000_16")
+	// or a "file:<path>" trace-file reference.
 	Name string
 	// Records is the trace length in memory records (0 = catalog default).
 	Records uint64
@@ -79,6 +88,32 @@ func Catalog() []string {
 	}
 	for _, g := range graphs.CRONO() {
 		out = append(out, g.Name)
+	}
+	return out
+}
+
+// WorkloadInfo describes one catalog entry — what tooling (the prophetd
+// daemon's GET /v1/workloads, scripted sweeps) needs to enumerate and size
+// runs without resolving each workload by hand.
+type WorkloadInfo struct {
+	// Name is the catalog identifier, resolvable by Find.
+	Name string `json:"name"`
+	// Kind is "spec" for the SPEC-CPU-like generators or "graph" for the
+	// CRONO graph workloads.
+	Kind string `json:"kind"`
+	// DefaultRecords is the trace length used when Workload.Records is 0.
+	DefaultRecords uint64 `json:"defaultRecords"`
+}
+
+// CatalogInfo lists every catalog workload with its metadata, in Catalog
+// order (SPEC-like set first, then the CRONO graphs).
+func CatalogInfo() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, w := range workloads.All() {
+		out = append(out, WorkloadInfo{Name: w.Name, Kind: "spec", DefaultRecords: w.Spec.Records})
+	}
+	for _, g := range graphs.CRONO() {
+		out = append(out, WorkloadInfo{Name: g.Name, Kind: "graph", DefaultRecords: graphs.DefaultRecords})
 	}
 	return out
 }
@@ -117,12 +152,83 @@ func (w Workload) factory() (pipeline.SourceFactory, error) {
 	if g, err := graphs.Parse(w.Name); err == nil {
 		return func() mem.Source { return g.Source(records) }, nil
 	}
+	if path, ok := strings.CutPrefix(w.Name, "file:"); ok {
+		// The parsed trace is shared through a small cache; the factory
+		// then replays the in-memory records, so the multi-pass schemes
+		// (RPG2, Prophet) and multi-scheme sweeps over one file see
+		// identical streams without re-reading or re-decoding it.
+		recs, err := readTraceCached(path)
+		if err != nil {
+			return nil, fmt.Errorf("prophet: workload %q: %w", w.Name, err)
+		}
+		return func() mem.Source {
+			src := mem.Source(mem.NewSliceSource(recs))
+			if records > 0 {
+				src = mem.Limit(src, records)
+			}
+			return src
+		}, nil
+	}
 	return nil, fmt.Errorf("prophet: unknown workload %q", w.Name)
+}
+
+// traceCache holds the few most recently used parsed trace files, keyed by
+// path and invalidated on size/mtime change. Without it, every factory()
+// resolution — one per Find, one per sweep job — re-reads and re-decodes
+// the whole file; a 5-scheme sweep over one trace would hold 5 copies.
+var traceCache struct {
+	sync.Mutex
+	entries map[string]traceEntry
+	order   []string // FIFO of cached paths
+}
+
+type traceEntry struct {
+	recs    []mem.Access
+	size    int64
+	modTime time.Time
+}
+
+const traceCacheMax = 4
+
+// readTraceCached loads a trace file through the cache. The records slice
+// is shared read-only across callers (SliceSource copies only a cursor).
+func readTraceCached(path string) ([]mem.Access, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	traceCache.Lock()
+	if e, ok := traceCache.entries[path]; ok && e.size == fi.Size() && e.modTime.Equal(fi.ModTime()) {
+		traceCache.Unlock()
+		return e.recs, nil
+	}
+	traceCache.Unlock()
+	recs, err := mem.ReadTraceFile(path)
+	if err != nil {
+		return nil, err
+	}
+	traceCache.Lock()
+	if traceCache.entries == nil {
+		traceCache.entries = map[string]traceEntry{}
+	}
+	if _, ok := traceCache.entries[path]; !ok {
+		traceCache.order = append(traceCache.order, path)
+		if len(traceCache.order) > traceCacheMax {
+			delete(traceCache.entries, traceCache.order[0])
+			traceCache.order = traceCache.order[1:]
+		}
+	}
+	traceCache.entries[path] = traceEntry{recs: recs, size: fi.Size(), modTime: fi.ModTime()}
+	traceCache.Unlock()
+	return recs, nil
 }
 
 // key identifies the workload's exact trace for baseline caching. Records
 // is normalized to the effective trace length, so the catalog default asked
 // for explicitly and as 0 share one cache entry — the traces are identical.
+// For file: workloads the key carries the file's size and mtime: a
+// regenerated trace under the same path is a different trace and must not
+// inherit the old baseline in a long-lived process (prophetd).
 func (w Workload) key() string {
 	records := w.Records
 	if records == 0 {
@@ -130,6 +236,11 @@ func (w Workload) key() string {
 			records = wl.Spec.Records
 		} else if _, err := graphs.Parse(w.Name); err == nil {
 			records = graphs.DefaultRecords
+		}
+	}
+	if path, ok := strings.CutPrefix(w.Name, "file:"); ok {
+		if fi, err := os.Stat(path); err == nil {
+			return fmt.Sprintf("%s@%d#%d.%d", w.Name, records, fi.Size(), fi.ModTime().UnixNano())
 		}
 	}
 	return fmt.Sprintf("%s@%d", w.Name, records)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"prophet/internal/core"
 	"prophet/internal/mem"
@@ -17,16 +19,33 @@ import (
 // to every profiled input. Runs of the optimized binary reuse the
 // evaluator's baseline cache, so re-evaluating after each learning loop
 // never re-simulates a baseline.
+//
+// A Session is safe for concurrent use: the profile state is guarded by a
+// mutex, so overlapping Profile/Optimize/Run calls serialize rather than
+// race (the prophetd daemon exposes sessions to concurrent HTTP clients).
+// Profiles still merge in call order — concurrent Profile calls commute in
+// the learned weights but interleave nondeterministically, so callers that
+// need a reproducible profile order should serialize their own calls.
 type Session struct {
-	e *Evaluator
-	p *pipeline.Prophet
+	e  *Evaluator
+	id uint64
+
+	mu sync.Mutex
+	p  *pipeline.Prophet
 }
+
+// sessionIDs hands out process-unique session identities.
+var sessionIDs atomic.Uint64
 
 // NewSession starts an empty profile-guided session on this evaluator's
 // configuration.
 func (e *Evaluator) NewSession() *Session {
-	return &Session{e: e, p: pipeline.NewProphet(e.eng.Config())}
+	return &Session{e: e, id: sessionIDs.Add(1), p: pipeline.NewProphet(e.eng.Config())}
 }
+
+// ID is the session's process-unique identity (1, 2, ... in creation
+// order). Services that expose sessions as resources key them by it.
+func (s *Session) ID() uint64 { return s.id }
 
 // Profile executes Steps 1 and 3 for one input: run it under the simplified
 // temporal prefetcher, collect PMU counters, and merge them into the
@@ -36,17 +55,25 @@ func (s *Session) Profile(w Workload) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.p.ProfileAndLearn(f())
 	return nil
 }
 
 // Loops returns how many inputs have been learned.
-func (s *Session) Loops() int { return s.p.ProfileState().Loops }
+func (s *Session) Loops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.ProfileState().Loops
+}
 
 // Optimize executes Step 2: analyze the merged counters into hints and
 // "inject" them, producing the optimized Binary.
 func (s *Session) Optimize() Binary {
+	s.mu.Lock()
 	res := s.p.Analyze()
+	s.mu.Unlock()
 	return Binary{
 		PCHints:    len(res.Hints.PC),
 		MetaWays:   res.Hints.MetaWays,
@@ -58,7 +85,9 @@ func (s *Session) Optimize() Binary {
 
 // Run executes the optimized binary on a workload, returning metrics
 // normalized to the no-temporal-prefetching baseline on the same trace
-// (cached across the whole evaluator).
+// (cached across the whole evaluator). Run does not touch the profile
+// state — the Binary is self-contained — so concurrent Runs of one session
+// proceed in parallel.
 func (s *Session) Run(ctx context.Context, b Binary, w Workload) (RunStats, error) {
 	if err := ctx.Err(); err != nil {
 		return RunStats{}, err

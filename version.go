@@ -1,0 +1,37 @@
+package prophet
+
+import "runtime/debug"
+
+// Version reports the build's version string: the module version when built
+// from a tagged release, otherwise the VCS revision embedded by the Go
+// toolchain ("devel-<rev12>", "+dirty" when the tree was modified), and
+// "devel" when no build metadata is available (e.g. plain `go test`).
+// Every cmd tool surfaces it behind -version, and the prophetd daemon at
+// GET /v1/version.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return "devel-" + rev + dirty
+}
