@@ -25,9 +25,13 @@ import (
 var benchOpts = experiments.Options{Quick: true}
 
 // runExperiment executes one experiment per iteration and reports the value
-// of a series at a label as the benchmark's custom metric.
+// of a series at a label as the benchmark's custom metric. Allocations are
+// always reported: allocs/op is a gated input of the perf-regression CI job,
+// so every benchmark must produce it without requiring -benchmem.
 func runExperiment(b *testing.B, id, series, label, metric string) {
 	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
 	var last experiments.Result
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run(id, benchOpts)
@@ -129,6 +133,7 @@ func sweepBenchJobs(b *testing.B) []prophet.Job {
 // grid fans out over the worker pool.
 func BenchmarkEvaluatorSweep(b *testing.B) {
 	jobs := sweepBenchJobs(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := prophet.New()
@@ -150,6 +155,7 @@ func BenchmarkEvaluatorSweep(b *testing.B) {
 func BenchmarkEvaluateWithPerCall(b *testing.B) {
 	jobs := sweepBenchJobs(b)
 	opts := prophet.DefaultOptions()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, j := range jobs {
@@ -169,6 +175,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	w := workloads.Omnetpp().Scaled(35)
 	p := pipeline.NewProphet(cfg)
 	p.ProfileAndLearn(w.Source(50_000))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Run(w.Source(50_000))
@@ -179,6 +186,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // BenchmarkMetadataTable measures table insert+lookup throughput.
 func BenchmarkMetadataTable(b *testing.B) {
 	tb := temporal.NewTable(temporal.DefaultTableConfig(), 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := uint32(i) % 500_000
@@ -190,6 +198,7 @@ func BenchmarkMetadataTable(b *testing.B) {
 // BenchmarkVictimBuffer measures MVB insert+lookup throughput.
 func BenchmarkVictimBuffer(b *testing.B) {
 	vb := core.NewVictimBuffer(core.DefaultMVBEntries, 4, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key := uint32(i) % 100_000
@@ -201,6 +210,7 @@ func BenchmarkVictimBuffer(b *testing.B) {
 // BenchmarkWorkloadGeneration measures trace-generation throughput.
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	w := workloads.MCF()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := w.Source(10_000)
@@ -221,6 +231,7 @@ func BenchmarkHintBufferLookup(b *testing.B) {
 		hints[mem.Addr(0x400000+i*64)] = core.Hint{Insert: true, Priority: uint8(i & 3)}
 	}
 	hb.Install(hints, nil)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hb.Lookup(mem.Addr(0x400000 + (i%256)*64))

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"prophet"
 
@@ -33,6 +34,24 @@ func main() {
 
 	if *version {
 		fmt.Println("tracegen", prophet.Version())
+		return
+	}
+
+	// Summarizing an existing trace file is a single pass: stream it in
+	// reusable blocks instead of materializing the whole record slice the
+	// way the multi-pass file: workload source must.
+	if path, ok := strings.CutPrefix(*workload, "file:"); ok && *statsOnly && *records == 0 {
+		tr, err := mem.OpenTraceFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer tr.Close()
+		printStats(tr)
+		if err := tr.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		return
 	}
 

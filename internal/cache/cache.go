@@ -72,10 +72,16 @@ type Stats struct {
 //
 // The demand-visible portion of the cache may be narrowed with SetDemandWays
 // (used by the LLC when the temporal prefetcher's metadata table claims ways).
+//
+// Tag state is one flat lineState array (set-major, ways within a set
+// adjacent), and replacement state is one flat replacer per cache: building
+// a cache costs a handful of allocations instead of two per set, and the
+// per-access way scans walk contiguous memory.
 type Cache struct {
 	cfg        Config
-	sets       [][]lineState
-	repl       []replacer
+	data       []lineState // sets*ways flat, set-major
+	lines      []uint64    // scan accelerator: line+1 per valid way, 0 invalid
+	repl       replacer
 	setMask    uint64
 	demandWays int
 	clock      uint64 // logical access counter for LRU ordering
@@ -89,18 +95,48 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	sets := cfg.Sets()
-	c := &Cache{
+	return &Cache{
 		cfg:        cfg,
-		sets:       make([][]lineState, sets),
-		repl:       make([]replacer, sets),
+		data:       make([]lineState, sets*cfg.Ways),
+		lines:      make([]uint64, sets*cfg.Ways),
+		repl:       newReplacer(cfg.Policy, sets, cfg.Ways),
 		setMask:    uint64(sets - 1),
 		demandWays: cfg.Ways,
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]lineState, cfg.Ways)
-		c.repl[i] = newReplacer(cfg.Policy, cfg.Ways)
+}
+
+// Reset restores the cache to its just-constructed state, reusing the
+// backing arrays. It exists so internal/sim can pool simulated systems
+// across runs; a reset cache is indistinguishable from a fresh one.
+func (c *Cache) Reset() {
+	clear(c.data)
+	clear(c.lines)
+	c.repl.reset()
+	c.demandWays = c.cfg.Ways
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// set returns the full (all-ways) window of set si.
+func (c *Cache) set(si int) []lineState {
+	base := si * c.cfg.Ways
+	return c.data[base : base+c.cfg.Ways]
+}
+
+// findWay scans the lines accelerator of set si for l among the first
+// limit ways, returning the way index or -1. Scanning 8-byte words instead
+// of 40-byte lineState structs keeps the probe inside one or two cache
+// lines; values are stored as line+1 so zero never matches.
+func (c *Cache) findWay(si int, l mem.Line, limit int) int {
+	base := si * c.cfg.Ways
+	lines := c.lines[base : base+limit]
+	want := uint64(l) + 1
+	for w, lv := range lines {
+		if lv == want {
+			return w
+		}
 	}
-	return c
+	return -1
 }
 
 // Config returns the cache's configuration.
@@ -117,11 +153,9 @@ func (c *Cache) setIndex(l mem.Line) int { return int(uint64(l) & c.setMask) }
 // Lookup probes for a line without changing replacement state.
 // It returns the fill-ready cycle for timeliness accounting.
 func (c *Cache) Lookup(l mem.Line) (ready uint64, hit bool) {
-	set := c.sets[c.setIndex(l)]
-	for w := 0; w < c.demandWays; w++ {
-		if set[w].valid && set[w].line == l {
-			return set[w].ready, true
-		}
+	si := c.setIndex(l)
+	if w := c.findWay(si, l, c.demandWays); w >= 0 {
+		return c.set(si)[w].ready, true
 	}
 	return 0, false
 }
@@ -147,23 +181,20 @@ type AccessResult struct {
 func (c *Cache) Access(l mem.Line, now uint64, write bool) AccessResult {
 	c.clock++
 	si := c.setIndex(l)
-	set := c.sets[si]
-	for w := 0; w < c.demandWays; w++ {
-		st := &set[w]
-		if st.valid && st.line == l {
-			c.stats.Hits++
-			c.repl[si].touch(w, c.clock)
-			res := AccessResult{Hit: true, Ready: st.ready}
-			if st.prefetch {
-				res.WasPrefetch = true
-				res.Trigger = st.trigger
-				st.prefetch = false
-			}
-			if write {
-				st.dirty = true
-			}
-			return res
+	if w := c.findWay(si, l, c.demandWays); w >= 0 {
+		st := &c.set(si)[w]
+		c.stats.Hits++
+		c.repl.touch(si, w, c.clock)
+		res := AccessResult{Hit: true, Ready: st.ready}
+		if st.prefetch {
+			res.WasPrefetch = true
+			res.Trigger = st.trigger
+			st.prefetch = false
 		}
+		if write {
+			st.dirty = true
+		}
+		return res
 	}
 	c.stats.Misses++
 	return AccessResult{}
@@ -176,11 +207,16 @@ func (c *Cache) Access(l mem.Line, now uint64, write bool) AccessResult {
 func (c *Cache) Insert(l mem.Line, now, ready uint64, dirty, prefetch bool, trigger mem.Addr) Eviction {
 	c.clock++
 	si := c.setIndex(l)
-	set := c.sets[si]
-	// Refill of a line already present (e.g. prefetch racing demand):
-	// update in place, never duplicate tags.
+	base := si * c.cfg.Ways
+	set := c.set(si)
+	// One scan finds a refill of a line already present (e.g. prefetch
+	// racing demand — update in place, never duplicate tags) and remembers
+	// the first free way for the fill.
+	victim := -1
+	want := uint64(l) + 1
 	for w := 0; w < c.demandWays; w++ {
-		if set[w].valid && set[w].line == l {
+		lv := c.lines[base+w]
+		if lv == want {
 			st := &set[w]
 			if ready < st.ready {
 				st.ready = ready
@@ -188,18 +224,13 @@ func (c *Cache) Insert(l mem.Line, now, ready uint64, dirty, prefetch bool, trig
 			st.dirty = st.dirty || dirty
 			return Eviction{}
 		}
-	}
-	// Free way?
-	victim := -1
-	for w := 0; w < c.demandWays; w++ {
-		if !set[w].valid {
+		if lv == 0 && victim < 0 {
 			victim = w
-			break
 		}
 	}
 	var ev Eviction
 	if victim < 0 {
-		victim = c.repl[si].victim(c.demandWays)
+		victim = c.repl.victim(si, c.demandWays)
 		st := set[victim]
 		ev = Eviction{Line: st.line, Dirty: st.dirty, Prefetch: st.prefetch, Trigger: st.trigger, Valid: true}
 		if st.dirty {
@@ -207,25 +238,46 @@ func (c *Cache) Insert(l mem.Line, now, ready uint64, dirty, prefetch bool, trig
 		}
 	}
 	set[victim] = lineState{line: l, valid: true, dirty: dirty, prefetch: prefetch, trigger: trigger, ready: ready}
-	c.repl[si].insert(victim, c.clock)
+	c.lines[base+victim] = want
+	c.repl.insert(si, victim, c.clock)
 	c.stats.Fills++
 	return ev
+}
+
+// MarkDirty performs the writeback fast path: if l is present in the
+// demand-visible ways it applies exactly the side effects of a demand write
+// hit (recency touch, dirty bit, prefetch-flag consumption) and reports
+// true; otherwise it reports false with no state change, and the caller
+// inserts the line. It fuses the Lookup+Access pair the simulator used to
+// issue for every dirty eviction into one tag scan.
+func (c *Cache) MarkDirty(l mem.Line, now uint64) bool {
+	si := c.setIndex(l)
+	if w := c.findWay(si, l, c.demandWays); w >= 0 {
+		st := &c.set(si)[w]
+		c.clock++
+		c.stats.Hits++
+		c.repl.touch(si, w, c.clock)
+		st.prefetch = false
+		st.dirty = true
+		return true
+	}
+	return false
 }
 
 // Invalidate removes a line if present, returning its eviction record
 // (used by exclusive-ish LLC handling and by tests).
 func (c *Cache) Invalidate(l mem.Line) Eviction {
 	si := c.setIndex(l)
-	set := c.sets[si]
-	for w := range set {
-		if set[w].valid && set[w].line == l {
-			st := set[w]
-			set[w] = lineState{}
-			if st.dirty {
-				c.stats.Writebacks++
-			}
-			return Eviction{Line: st.line, Dirty: st.dirty, Prefetch: st.prefetch, Trigger: st.trigger, Valid: true}
+	// Note: the full associativity is searched, not just the demand ways.
+	if w := c.findWay(si, l, c.cfg.Ways); w >= 0 {
+		set := c.set(si)
+		st := set[w]
+		set[w] = lineState{}
+		c.lines[si*c.cfg.Ways+w] = 0
+		if st.dirty {
+			c.stats.Writebacks++
 		}
+		return Eviction{Line: st.line, Dirty: st.dirty, Prefetch: st.prefetch, Trigger: st.trigger, Valid: true}
 	}
 	return Eviction{}
 }
@@ -243,15 +295,17 @@ func (c *Cache) SetDemandWays(n int) []Eviction {
 	}
 	var evs []Eviction
 	if n < c.demandWays {
-		for si := range c.sets {
+		for si := 0; si < c.cfg.Sets(); si++ {
+			set := c.set(si)
 			for w := n; w < c.demandWays; w++ {
-				st := &c.sets[si][w]
+				st := &set[w]
 				if st.valid {
 					evs = append(evs, Eviction{Line: st.line, Dirty: st.dirty, Prefetch: st.prefetch, Trigger: st.trigger, Valid: true})
 					if st.dirty {
 						c.stats.Writebacks++
 					}
 					*st = lineState{}
+					c.lines[si*c.cfg.Ways+w] = 0
 				}
 			}
 		}
@@ -263,9 +317,10 @@ func (c *Cache) SetDemandWays(n int) []Eviction {
 // Occupancy returns the number of valid demand-visible lines (for tests).
 func (c *Cache) Occupancy() int {
 	n := 0
-	for si := range c.sets {
+	for si := 0; si < c.cfg.Sets(); si++ {
+		set := c.set(si)
 		for w := 0; w < c.demandWays; w++ {
-			if c.sets[si][w].valid {
+			if set[w].valid {
 				n++
 			}
 		}

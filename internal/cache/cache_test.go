@@ -266,9 +266,9 @@ func TestCacheInvariants(t *testing.T) {
 		}
 		// Scan for duplicate tags among valid demand ways.
 		seen := map[mem.Line]bool{}
-		for si := range c.sets {
+		for si := 0; si < c.cfg.Sets(); si++ {
 			for w := 0; w < c.demandWays; w++ {
-				st := c.sets[si][w]
+				st := c.set(si)[w]
 				if st.valid {
 					if seen[st.line] {
 						return false

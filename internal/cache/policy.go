@@ -46,64 +46,77 @@ const (
 	srripPromote = 0                // hit promotion
 )
 
-// replacer tracks recency metadata for one cache set.
+// replacer tracks recency metadata for every set of one cache. A single
+// replacer instance backs the whole cache with flat state arrays (indexed
+// set*ways + way); the per-set objects this replaces cost two allocations
+// per set — thousands per simulated system — and scattered the state across
+// the heap.
 type replacer interface {
-	// touch records a hit on way w at the given logical time.
-	touch(w int, now uint64)
-	// insert records a fill into way w.
-	insert(w int, now uint64)
-	// victim picks the way to evict among ways [0, limit). All ways in
-	// range are guaranteed valid when victim is called.
-	victim(limit int) int
+	// touch records a hit on way w of set si at the given logical time.
+	touch(si, w int, now uint64)
+	// insert records a fill into way w of set si.
+	insert(si, w int, now uint64)
+	// victim picks the way to evict among ways [0, limit) of set si. All
+	// ways in range are guaranteed valid when victim is called.
+	victim(si, limit int) int
+	// reset restores the just-constructed state (for scratch reuse).
+	reset()
 }
 
 // --- LRU ---
 
 type lruState struct {
-	last []uint64
+	ways int
+	last []uint64 // sets*ways flat
 }
 
-func newLRU(ways int) *lruState { return &lruState{last: make([]uint64, ways)} }
+func newLRU(sets, ways int) *lruState {
+	return &lruState{ways: ways, last: make([]uint64, sets*ways)}
+}
 
-func (s *lruState) touch(w int, now uint64)  { s.last[w] = now }
-func (s *lruState) insert(w int, now uint64) { s.last[w] = now }
+func (s *lruState) touch(si, w int, now uint64)  { s.last[si*s.ways+w] = now }
+func (s *lruState) insert(si, w int, now uint64) { s.last[si*s.ways+w] = now }
 
-func (s *lruState) victim(limit int) int {
-	best, bestT := 0, s.last[0]
+func (s *lruState) victim(si, limit int) int {
+	base := si * s.ways
+	best, bestT := 0, s.last[base]
 	for w := 1; w < limit; w++ {
-		if s.last[w] < bestT {
-			best, bestT = w, s.last[w]
+		if s.last[base+w] < bestT {
+			best, bestT = w, s.last[base+w]
 		}
 	}
 	return best
 }
 
+func (s *lruState) reset() { clear(s.last) }
+
 // --- tree PLRU (power-of-two ways) with CLOCK fallback ---
 
 type plruState struct {
-	bits  uint64 // tree bits; bit i is node i (root = 1), pointing to the colder half
-	ways  int
-	pow2  bool
-	ref   []bool // CLOCK fallback
-	hand  int
-	limit int
+	ways int
+	pow2 bool
+	bits []uint64 // per-set tree bits; bit i is node i (root = 1), pointing to the colder half
+	ref  []bool   // CLOCK fallback, sets*ways flat
+	hand []int32  // CLOCK hand per set
 }
 
-func newPLRU(ways int) *plruState {
+func newPLRU(sets, ways int) *plruState {
 	return &plruState{
-		bits: 0,
 		ways: ways,
 		pow2: ways&(ways-1) == 0,
-		ref:  make([]bool, ways),
+		bits: make([]uint64, sets),
+		ref:  make([]bool, sets*ways),
+		hand: make([]int32, sets),
 	}
 }
 
-func (s *plruState) touch(w int, _ uint64)  { s.promote(w) }
-func (s *plruState) insert(w int, _ uint64) { s.promote(w) }
+func (s *plruState) touch(si, w int, _ uint64)  { s.promote(si, w) }
+func (s *plruState) insert(si, w int, _ uint64) { s.promote(si, w) }
 
-func (s *plruState) promote(w int) {
+func (s *plruState) promote(si, w int) {
 	if s.pow2 {
 		// Walk from root to leaf w, flipping each node away from w.
+		bits := s.bits[si]
 		node := 1
 		span := s.ways
 		lo := 0
@@ -111,27 +124,29 @@ func (s *plruState) promote(w int) {
 			span /= 2
 			if w < lo+span {
 				// w in left half: point node at right half (bit=1).
-				s.bits |= 1 << uint(node)
+				bits |= 1 << uint(node)
 				node = node * 2
 			} else {
-				s.bits &^= 1 << uint(node)
+				bits &^= 1 << uint(node)
 				node = node*2 + 1
 				lo += span
 			}
 		}
+		s.bits[si] = bits
 		return
 	}
-	s.ref[w] = true
+	s.ref[si*s.ways+w] = true
 }
 
-func (s *plruState) victim(limit int) int {
+func (s *plruState) victim(si, limit int) int {
 	if s.pow2 && limit == s.ways {
+		bits := s.bits[si]
 		node := 1
 		span := s.ways
 		lo := 0
 		for span > 1 {
 			span /= 2
-			if s.bits&(1<<uint(node)) != 0 {
+			if bits&(1<<uint(node)) != 0 {
 				// Bit points right (colder).
 				node = node*2 + 1
 				lo += span
@@ -142,55 +157,71 @@ func (s *plruState) victim(limit int) int {
 		return lo
 	}
 	// CLOCK over [0, limit).
+	base := si * s.ways
+	hand := int(s.hand[si])
 	for i := 0; i < 2*limit; i++ {
-		w := s.hand % limit
-		s.hand = (s.hand + 1) % limit
-		if !s.ref[w] {
+		w := hand % limit
+		hand = (hand + 1) % limit
+		if !s.ref[base+w] {
+			s.hand[si] = int32(hand)
 			return w
 		}
-		s.ref[w] = false
+		s.ref[base+w] = false
 	}
+	s.hand[si] = int32(hand)
 	return 0
+}
+
+func (s *plruState) reset() {
+	clear(s.bits)
+	clear(s.ref)
+	clear(s.hand)
 }
 
 // --- SRRIP ---
 
 type srripState struct {
-	rrpv []uint8
+	ways int
+	rrpv []uint8 // sets*ways flat
 }
 
-func newSRRIP(ways int) *srripState {
-	s := &srripState{rrpv: make([]uint8, ways)}
-	for i := range s.rrpv {
-		s.rrpv[i] = srripMax
-	}
+func newSRRIP(sets, ways int) *srripState {
+	s := &srripState{ways: ways, rrpv: make([]uint8, sets*ways)}
+	s.reset()
 	return s
 }
 
-func (s *srripState) touch(w int, _ uint64)  { s.rrpv[w] = srripPromote }
-func (s *srripState) insert(w int, _ uint64) { s.rrpv[w] = srripInsert }
+func (s *srripState) touch(si, w int, _ uint64)  { s.rrpv[si*s.ways+w] = srripPromote }
+func (s *srripState) insert(si, w int, _ uint64) { s.rrpv[si*s.ways+w] = srripInsert }
 
-func (s *srripState) victim(limit int) int {
+func (s *srripState) victim(si, limit int) int {
+	base := si * s.ways
 	for {
 		for w := 0; w < limit; w++ {
-			if s.rrpv[w] >= srripMax {
+			if s.rrpv[base+w] >= srripMax {
 				return w
 			}
 		}
 		for w := 0; w < limit; w++ {
-			s.rrpv[w]++
+			s.rrpv[base+w]++
 		}
 	}
 }
 
-func newReplacer(p Policy, ways int) replacer {
+func (s *srripState) reset() {
+	for i := range s.rrpv {
+		s.rrpv[i] = srripMax
+	}
+}
+
+func newReplacer(p Policy, sets, ways int) replacer {
 	switch p {
 	case LRU:
-		return newLRU(ways)
+		return newLRU(sets, ways)
 	case PLRU:
-		return newPLRU(ways)
+		return newPLRU(sets, ways)
 	case SRRIP:
-		return newSRRIP(ways)
+		return newSRRIP(sets, ways)
 	}
 	panic("cache: unknown policy " + p.String())
 }

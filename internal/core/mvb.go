@@ -127,9 +127,15 @@ func (b *VictimBuffer) Insert(srcKey, target uint32) {
 // have their use counters incremented, implementing the Section 4.5
 // replacement rule.
 func (b *VictimBuffer) Lookup(srcKey uint32, exclude uint32) []uint32 {
+	return b.AppendLookup(nil, srcKey, exclude)
+}
+
+// AppendLookup is Lookup appending into dst, so the per-prediction caller
+// can recycle one scratch buffer instead of allocating per hit.
+func (b *VictimBuffer) AppendLookup(dst []uint32, srcKey uint32, exclude uint32) []uint32 {
 	set, tag := b.locate(srcKey)
 	entries := b.sets[set]
-	var out []uint32
+	found := 0
 	b.clock++
 	for i := range entries {
 		e := &entries[i]
@@ -140,15 +146,16 @@ func (b *VictimBuffer) Lookup(srcKey uint32, exclude uint32) []uint32 {
 			e.counter++
 		}
 		e.last = b.clock
-		out = append(out, e.target)
-		if len(out) >= b.candidates {
+		dst = append(dst, e.target)
+		found++
+		if found >= b.candidates {
 			break
 		}
 	}
-	if len(out) > 0 {
+	if found > 0 {
 		b.hits++
 	}
-	return out
+	return dst
 }
 
 // Stats returns (inserts, hits) for reporting.

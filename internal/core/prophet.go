@@ -86,6 +86,9 @@ type Prophet struct {
 	reuse *temporal.ReuseBuffer
 	mvb   *VictimBuffer
 
+	scratch []mem.Line // prediction buffer reused across OnAccess calls
+	altBuf  []uint32   // MVB lookup buffer, likewise recycled
+
 	dropped uint64 // demand requests discarded by the insertion policy
 }
 
@@ -116,13 +119,15 @@ func New(cfg Config, hints HintSet, hintWeight map[mem.Addr]uint64) *Prophet {
 		}
 	}
 	p := &Prophet{
-		cfg:   cfg,
-		csr:   csr,
-		hints: NewHintBuffer(cfg.HintBufferEntries),
-		table: temporal.NewTable(tableCfg, ways),
-		comp:  temporal.NewCompressor(),
-		train: temporal.NewTrainingUnit(1024),
-		reuse: temporal.NewReuseBuffer(128),
+		cfg:     cfg,
+		csr:     csr,
+		hints:   NewHintBuffer(cfg.HintBufferEntries),
+		table:   temporal.NewTable(tableCfg, ways),
+		comp:    temporal.NewCompressor(),
+		train:   temporal.NewTrainingUnit(1024),
+		reuse:   temporal.NewReuseBuffer(128),
+		scratch: make([]mem.Line, 0, 2*cfg.Degree),
+		altBuf:  make([]uint32, 0, cfg.MVBCandidates+1),
 	}
 	if cfg.Features.MVB {
 		p.mvb = NewVictimBuffer(cfg.MVBEntries, cfg.MVBAssoc, cfg.MVBCandidates)
@@ -196,9 +201,10 @@ func (p *Prophet) OnAccess(ev temporal.AccessEvent) []mem.Line {
 const mvbPrefetchMinPriority = 2
 
 // predict walks the Markov chain and augments each step with Multi-path
-// Victim Buffer alternates.
+// Victim Buffer alternates. The returned slice aliases the engine's scratch
+// buffer and is valid until the next prediction.
 func (p *Prophet) predict(src uint32, priority uint8) []mem.Line {
-	var out []mem.Line
+	out := p.scratch[:0]
 	cur := src
 	for i := 0; i < p.cfg.Degree; i++ {
 		target, ok := p.reuse.Lookup(cur)
@@ -225,7 +231,8 @@ func (p *Prophet) predict(src uint32, priority uint8) []mem.Line {
 			if hasPrimary {
 				exclude = primary
 			}
-			for _, alt := range p.mvb.Lookup(key, exclude) {
+			p.altBuf = p.mvb.AppendLookup(p.altBuf[:0], key, exclude)
+			for _, alt := range p.altBuf {
 				if line, ok2 := p.comp.Line(alt); ok2 {
 					out = append(out, line)
 				}
@@ -236,6 +243,7 @@ func (p *Prophet) predict(src uint32, priority uint8) []mem.Line {
 		}
 		cur = primary
 	}
+	p.scratch = out
 	return out
 }
 

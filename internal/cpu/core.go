@@ -80,7 +80,7 @@ type inflight struct {
 }
 
 // Core is the trace-driven core model. A Core is single-use: construct, Run,
-// read stats.
+// read stats (or Reset between uses when pooled by the simulator).
 type Core struct {
 	cfg Config
 	mem Memory
@@ -93,9 +93,11 @@ type Core struct {
 
 	// robLoads holds incomplete loads in program order for the ROB and LQ
 	// occupancy checks. Entries are popped once their completion is in the
-	// past or once they must be waited on.
+	// past or once they must be waited on. Occupancy never exceeds LQ, so
+	// the backing array is allocated once, at construction.
 	robLoads []inflight
-	// mshrs holds completion cycles of outstanding L1 misses (unordered).
+	// mshrs holds completion cycles of outstanding L1 misses (unordered,
+	// at most L1MSHRs — preallocated likewise).
 	mshrs []uint64
 
 	st Stats
@@ -107,7 +109,27 @@ func New(cfg Config, m Memory) *Core {
 	if cfg.FetchWidth <= 0 || cfg.ROB <= 0 || cfg.LQ <= 0 || cfg.L1MSHRs <= 0 {
 		panic("cpu: non-positive core configuration")
 	}
-	return &Core{cfg: cfg, mem: m}
+	return &Core{
+		cfg:      cfg,
+		mem:      m,
+		robLoads: make([]inflight, 0, cfg.LQ),
+		mshrs:    make([]uint64, 0, cfg.L1MSHRs),
+	}
+}
+
+// Reset restores the just-constructed state over a (possibly new) memory,
+// reusing the core's buffers. It exists so internal/sim can pool simulated
+// systems across runs.
+func (c *Core) Reset(m Memory) {
+	c.mem = m
+	c.slotClock = 0
+	c.lastCycle = 0
+	c.instrCount = 0
+	c.recIndex = 0
+	clear(c.completions[:])
+	c.robLoads = c.robLoads[:0]
+	c.mshrs = c.mshrs[:0]
+	c.st = Stats{}
 }
 
 // Run executes the whole trace and returns the run statistics.
@@ -185,7 +207,9 @@ func (c *Core) Step(a mem.Access) {
 }
 
 // drainOccupancy applies the ROB and LQ limits, advancing cycle past the
-// completions that must retire first, and prunes completed loads.
+// completions that must retire first, and prunes completed loads. The slice
+// stays anchored at its backing array's start (pops are deferred into one
+// compaction) so the preallocated capacity is never abandoned.
 func (c *Core) drainOccupancy(cycle uint64) uint64 {
 	// Prune loads already complete at this cycle.
 	keep := c.robLoads[:0]
@@ -196,18 +220,23 @@ func (c *Core) drainOccupancy(cycle uint64) uint64 {
 	}
 	c.robLoads = keep
 	// ROB: oldest incomplete load must be within ROB instructions.
-	for len(c.robLoads) > 0 && c.instrCount-c.robLoads[0].index >= uint64(c.cfg.ROB) {
-		if c.robLoads[0].done > cycle {
-			cycle = c.robLoads[0].done
+	pop := 0
+	for pop < len(c.robLoads) && c.instrCount-c.robLoads[pop].index >= uint64(c.cfg.ROB) {
+		if c.robLoads[pop].done > cycle {
+			cycle = c.robLoads[pop].done
 		}
-		c.robLoads = c.robLoads[1:]
+		pop++
 	}
 	// LQ: bounded number of incomplete loads.
-	for len(c.robLoads) >= c.cfg.LQ {
-		if c.robLoads[0].done > cycle {
-			cycle = c.robLoads[0].done
+	for len(c.robLoads)-pop >= c.cfg.LQ {
+		if c.robLoads[pop].done > cycle {
+			cycle = c.robLoads[pop].done
 		}
-		c.robLoads = c.robLoads[1:]
+		pop++
+	}
+	if pop > 0 {
+		n := copy(c.robLoads, c.robLoads[pop:])
+		c.robLoads = c.robLoads[:n]
 	}
 	return cycle
 }

@@ -68,6 +68,13 @@ func New(cfg Config) *DRAM {
 // Config returns the device configuration.
 func (d *DRAM) Config() Config { return d.cfg }
 
+// Reset restores the just-constructed state, reusing the channel array. It
+// exists so internal/sim can pool simulated systems across runs.
+func (d *DRAM) Reset() {
+	clear(d.busy)
+	d.st = Stats{}
+}
+
 // Stats returns a copy of the traffic counters.
 func (d *DRAM) Stats() Stats { return d.st }
 

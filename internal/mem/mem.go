@@ -109,6 +109,17 @@ func (s *SliceSource) Next() (Access, bool) {
 	return a, true
 }
 
+// Materialize returns the source's full record sequence as a slice. A fresh
+// SliceSource is returned as its backing slice without copying — callers
+// treat the result as read-only — so caching layers that wrap already
+// materialized traces (decoded trace files) do not duplicate them in memory.
+func Materialize(src Source) []Access {
+	if s, ok := src.(*SliceSource); ok && s.pos == 0 {
+		return s.recs
+	}
+	return Collect(src, 0)
+}
+
 // Collect drains a source into a slice, stopping after max records
 // (max <= 0 means unbounded). It is a convenience for tests and for the
 // trace-file writer.

@@ -85,31 +85,33 @@ func WriteTraceFile(path string, src Source) (uint64, error) {
 	return n, nil
 }
 
-// ReadTraceFile reads an entire trace file written by WriteTraceFile (or by
-// WriteTrace to a plain file), transparently decompressing gzip. Compression
-// is detected from the stream's leading magic bytes, not the file name, so
-// renamed files still load.
-func ReadTraceFile(path string) ([]Access, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
-		zr, err := gzip.NewReader(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
-		}
-		defer zr.Close()
-		return ReadTrace(zr)
-	}
-	return ReadTrace(br)
+// recordBytes is the on-disk size of one trace record.
+const recordBytes = 23
+
+// traceBlockRecords is how many records a TraceReader decodes per refill of
+// its reusable block buffer.
+const traceBlockRecords = 4096
+
+// TraceReader streams a trace without materializing the full record slice:
+// it refills one reusable block buffer from the underlying reader and
+// decodes records on demand. It implements Source, so a trace file can be
+// replayed directly into the simulator with O(block) memory whatever the
+// trace length. Callers that need random access or multiple passes should
+// collect the records instead (ReadTrace / ReadTraceFile).
+type TraceReader struct {
+	r         io.Reader
+	count     uint64 // total records in the trace
+	delivered uint64
+	block     []byte // reusable block buffer (whole records only)
+	pos       int    // consumed bytes within block
+	err       error
+	closer    io.Closer // set by OpenTraceFile
 }
 
-// ReadTrace reads an entire trace file produced by WriteTrace.
-func ReadTrace(r io.Reader) ([]Access, error) {
-	br := bufio.NewReader(r)
+// NewTraceReader parses the header from r and returns a streaming reader
+// positioned at the first record.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
@@ -117,34 +119,141 @@ func ReadTrace(r io.Reader) ([]Access, error) {
 	if magic != traceMagic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
 	}
-	var version uint32
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+	var head [12]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
 	}
+	version := binary.LittleEndian.Uint32(head[0:])
 	if version != traceVersion {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, version)
 	}
-	var count uint64
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	count := binary.LittleEndian.Uint64(head[4:])
+	return &TraceReader{
+		r:     br,
+		count: count,
+		block: make([]byte, 0, traceBlockRecords*recordBytes),
+	}, nil
+}
+
+// Count returns the record count declared in the trace header.
+func (t *TraceReader) Count() uint64 { return t.count }
+
+// Err returns the error that terminated the stream early, if any. A stream
+// that delivered all Count records reports nil.
+func (t *TraceReader) Err() error { return t.err }
+
+// Close releases the underlying file when the reader came from
+// OpenTraceFile; it is a no-op otherwise.
+func (t *TraceReader) Close() error {
+	if t.closer != nil {
+		err := t.closer.Close()
+		t.closer = nil
+		return err
 	}
-	const maxReasonable = 1 << 28 // refuse absurd files rather than OOM
-	if count > maxReasonable {
-		return nil, fmt.Errorf("%w: record count %d too large", ErrBadTrace, count)
+	return nil
+}
+
+// Next implements Source, decoding the next record from the block buffer.
+func (t *TraceReader) Next() (Access, bool) {
+	if t.err != nil || t.delivered >= t.count {
+		return Access{}, false
 	}
-	recs := make([]Access, 0, count)
-	var buf [23]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, i, err)
+	if t.pos >= len(t.block) {
+		if !t.refill() {
+			return Access{}, false
 		}
-		recs = append(recs, Access{
-			PC:   Addr(binary.LittleEndian.Uint64(buf[0:])),
-			Addr: Addr(binary.LittleEndian.Uint64(buf[8:])),
-			Kind: Kind(buf[16]),
-			Dep:  binary.LittleEndian.Uint32(buf[17:]),
-			Gap:  binary.LittleEndian.Uint16(buf[21:]),
-		})
+	}
+	b := t.block[t.pos : t.pos+recordBytes]
+	t.pos += recordBytes
+	t.delivered++
+	return Access{
+		PC:   Addr(binary.LittleEndian.Uint64(b[0:])),
+		Addr: Addr(binary.LittleEndian.Uint64(b[8:])),
+		Kind: Kind(b[16]),
+		Dep:  binary.LittleEndian.Uint32(b[17:]),
+		Gap:  binary.LittleEndian.Uint16(b[21:]),
+	}, true
+}
+
+// refill reads the next block of whole records into the reusable buffer.
+func (t *TraceReader) refill() bool {
+	want := t.count - t.delivered
+	if want > traceBlockRecords {
+		want = traceBlockRecords
+	}
+	buf := t.block[:want*recordBytes]
+	if _, err := io.ReadFull(t.r, buf); err != nil {
+		t.err = fmt.Errorf("%w: truncated at record %d: %v", ErrBadTrace, t.delivered, err)
+		return false
+	}
+	t.block = buf
+	t.pos = 0
+	return true
+}
+
+// OpenTraceFile opens a trace file for streaming replay, transparently
+// decompressing gzip (detected from the stream's leading magic bytes, not
+// the file name). The caller owns the returned reader and must Close it.
+func OpenTraceFile(path string) (*TraceReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(f)
+	var src io.Reader = br
+	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		src = zr
+	}
+	tr, err := NewTraceReader(src)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tr.closer = f
+	return tr, nil
+}
+
+// ReadTraceFile reads an entire trace file written by WriteTraceFile (or by
+// WriteTrace to a plain file), transparently decompressing gzip. Use
+// OpenTraceFile to stream instead of materializing every record.
+func ReadTraceFile(path string) ([]Access, error) {
+	tr, err := OpenTraceFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	return collectTrace(tr)
+}
+
+// ReadTrace reads an entire trace produced by WriteTrace.
+func ReadTrace(r io.Reader) ([]Access, error) {
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return collectTrace(tr)
+}
+
+func collectTrace(tr *TraceReader) ([]Access, error) {
+	const maxReasonable = 1 << 28 // refuse absurd files rather than OOM
+	if tr.Count() > maxReasonable {
+		return nil, fmt.Errorf("%w: record count %d too large", ErrBadTrace, tr.Count())
+	}
+	recs := make([]Access, 0, tr.Count())
+	for {
+		a, ok := tr.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, a)
+	}
+	if err := tr.Err(); err != nil {
+		return nil, err
 	}
 	return recs, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"prophet/internal/mem"
 	"prophet/internal/registry"
 	"prophet/internal/sim"
 )
@@ -62,12 +63,70 @@ type baselineEntry struct {
 	stats sim.Stats
 }
 
+// traceEntry materializes one trace, once. Trace factories are deterministic
+// per key, so every simulation pass over the same key — baseline, scheme
+// run, Prophet's profile pass, RPG2's tuning ladder, each scheme of a sweep
+// — can replay one in-memory record slice instead of re-generating (or
+// re-decoding) the stream. Generation is a measurable fraction of short
+// runs; this is the sweep-level scratch reuse that removes it.
+type traceEntry struct {
+	once sync.Once
+	recs []mem.Access
+}
+
+// traceStore is the process-wide materialized-trace cache. It is global, not
+// per-evaluator, because a trace depends only on its key (workload name,
+// record count, file identity) — never on the system configuration — so
+// independent evaluators sharing a process can share the records. The FIFO
+// bound keeps a long-lived daemon from accumulating every trace it served.
+var traceStore struct {
+	sync.Mutex
+	entries map[string]*traceEntry
+	order   []string // FIFO of cached keys
+}
+
+// traceCacheEntries bounds the materialized-trace cache.
+const traceCacheEntries = 8
+
 // NewEvaluator builds an evaluator. workers <= 0 selects runtime.NumCPU().
 func NewEvaluator(cfg Config, workers int) *Evaluator {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Evaluator{cfg: cfg, workers: workers, baselines: map[string]*baselineEntry{}}
+	return &Evaluator{
+		cfg:       cfg,
+		workers:   workers,
+		baselines: map[string]*baselineEntry{},
+	}
+}
+
+// cachedFactory wraps a job's trace factory so all passes share one
+// materialized record slice. Concurrent callers for the same key coalesce on
+// the entry's once; the FIFO bound evicts old keys from the store, but
+// factories already handed out keep their entry alive until they are done.
+func cachedFactory(key string, f SourceFactory) SourceFactory {
+	traceStore.Lock()
+	if traceStore.entries == nil {
+		traceStore.entries = map[string]*traceEntry{}
+	}
+	entry, ok := traceStore.entries[key]
+	if !ok {
+		entry = &traceEntry{}
+		traceStore.entries[key] = entry
+		traceStore.order = append(traceStore.order, key)
+		if len(traceStore.order) > traceCacheEntries {
+			delete(traceStore.entries, traceStore.order[0])
+			traceStore.order = traceStore.order[1:]
+		}
+	}
+	traceStore.Unlock()
+	return func() mem.Source {
+		// Materialize shares the backing slice of already slice-backed
+		// sources (file: traces decoded by the root-level cache), so the
+		// two cache layers never hold duplicate copies of one trace.
+		entry.once.Do(func() { entry.recs = mem.Materialize(f()) })
+		return mem.NewSliceSource(entry.recs)
+	}
 }
 
 // Config returns the evaluator's pipeline configuration.
@@ -133,6 +192,7 @@ func (e *Evaluator) Run(ctx context.Context, job Job) Outcome {
 			job.Scheme, strings.Join(registry.Names(), ", "))
 		return out
 	}
+	job.Factory = cachedFactory(job.Key, job.Factory)
 	out.Base = e.Baseline(job.Key, job.Factory)
 	if job.Scheme == "baseline" {
 		// The baseline scheme IS the cached run; don't simulate it twice.

@@ -147,6 +147,7 @@ type Prefetcher struct {
 	kernels  map[mem.Addr]int64
 	distance int
 	issued   uint64
+	scratch  [1]mem.Line // reused across OnDemand calls
 }
 
 // NewPrefetcher builds the runtime prefetcher from identified kernels and a
@@ -175,7 +176,8 @@ func (p *Prefetcher) KernelCount() int { return len(p.kernels) }
 func (p *Prefetcher) Issued() uint64 { return p.issued }
 
 // OnDemand is called for every demand access; for kernel PCs it returns the
-// software prefetch target.
+// software prefetch target. The returned slice aliases a scratch buffer and
+// is valid until the next call.
 func (p *Prefetcher) OnDemand(pc mem.Addr, line mem.Line) []mem.Line {
 	stride, ok := p.kernels[pc]
 	if !ok {
@@ -186,7 +188,8 @@ func (p *Prefetcher) OnDemand(pc mem.Addr, line mem.Line) []mem.Line {
 		return nil
 	}
 	p.issued++
-	return []mem.Line{mem.Line(target)}
+	p.scratch[0] = mem.Line(target)
+	return p.scratch[:]
 }
 
 // TuneDistance performs RPG2's binary search over prefetch distances.

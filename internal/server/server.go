@@ -154,9 +154,9 @@ type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Workers       int     `json:"workers"`
 	// Options is the engine configuration actually being simulated.
-	Options prophet.Options `json:"options"`
-	Cache   CacheStats      `json:"cache"`
-	Baseline      struct {
+	Options  prophet.Options `json:"options"`
+	Cache    CacheStats      `json:"cache"`
+	Baseline struct {
 		Hits   int64 `json:"hits"`
 		Misses int64 `json:"misses"`
 	} `json:"baseline"`

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"sync"
+
 	"prophet/internal/cache"
 	"prophet/internal/cpu"
 	"prophet/internal/dram"
@@ -12,7 +14,9 @@ import (
 
 // SWPrefetcher is the hook for software prefetching schemes (RPG2): it sees
 // every demand access at issue and returns lines to prefetch into the L2,
-// mirroring software prefetch instructions placed next to the load.
+// mirroring software prefetch instructions placed next to the load. The
+// returned slice may alias a scratch buffer owned by the prefetcher; it is
+// valid only until the next OnDemand call.
 type SWPrefetcher interface {
 	OnDemand(pc mem.Addr, line mem.Line) []mem.Line
 }
@@ -242,10 +246,10 @@ func (s *System) fillL2(line mem.Line, now, ready uint64, dirty, isPrefetch bool
 	}
 }
 
-// writebackToL2 handles a dirty L1 eviction.
+// writebackToL2 handles a dirty L1 eviction. MarkDirty fuses the hit check
+// and the dirty-marking access into one tag scan.
 func (s *System) writebackToL2(line mem.Line, now uint64) {
-	if _, hit := s.l2.Lookup(line); hit {
-		s.l2.Access(line, now, true) // mark dirty
+	if s.l2.MarkDirty(line, now) {
 		return
 	}
 	s.fillL2(line, now, now, true, false, 0)
@@ -253,8 +257,7 @@ func (s *System) writebackToL2(line mem.Line, now uint64) {
 
 // writebackToL3 handles a dirty L2 eviction.
 func (s *System) writebackToL3(line mem.Line, now uint64) {
-	if _, hit := s.l3.Lookup(line); hit {
-		s.l3.Access(line, now, true)
+	if s.l3.MarkDirty(line, now) {
 		return
 	}
 	if ev := s.l3.Insert(line, now, now, true, false, 0); ev.Valid && ev.Dirty {
@@ -338,15 +341,74 @@ func (s *System) Stats(coreStats cpu.Stats) Stats {
 	return st
 }
 
+// reset restores a pooled System to its just-constructed state for cfg-
+// identical reuse: caches, DRAM and counters cleared, a fresh L1 prefetcher,
+// and the new run's attachments installed. A reset system is
+// indistinguishable from New's output — runs stay deterministic whether
+// their scratch state came from the pool or the allocator.
+func (s *System) reset(engine temporal.Engine, sw SWPrefetcher, counters *pmu.Counters, observer DemandObserver) {
+	s.l1.Reset()
+	s.l2.Reset()
+	s.l3.Reset()
+	s.dram.Reset()
+	s.l1pf = s.cfg.newL1Prefetcher()
+	s.engine = engine
+	s.sw = sw
+	s.counters = counters
+	s.observer = observer
+	s.st = Stats{}
+	s.syncMetaWays(0)
+}
+
+// scratch bundles the large per-run structures Run recycles: the cache
+// hierarchy's tag arrays (megabytes per system) and the core's dependence
+// ring. Pooling them removes the dominant per-run allocations from sweeps —
+// an Evaluator fanning hundreds of short simulations over a worker pool
+// constructs each system once per worker instead of once per run.
+type scratch struct {
+	sys  *System
+	core *cpu.Core
+}
+
+// scratchPools maps a Config to its *sync.Pool of scratch systems. Pools are
+// per-configuration because a System's geometry is fixed at construction.
+var scratchPools sync.Map
+
+func getScratch(cfg Config, engine temporal.Engine, sw SWPrefetcher, counters *pmu.Counters, observer DemandObserver) *scratch {
+	pi, _ := scratchPools.LoadOrStore(cfg, &sync.Pool{})
+	if v := pi.(*sync.Pool).Get(); v != nil {
+		sc := v.(*scratch)
+		sc.sys.reset(engine, sw, counters, observer)
+		sc.core.Reset(sc.sys)
+		return sc
+	}
+	sys := New(cfg, engine, sw, counters, observer)
+	return &scratch{sys: sys, core: cpu.New(cfg.Core, sys)}
+}
+
+func putScratch(cfg Config, sc *scratch) {
+	// Drop the run's attachments so the pool does not pin engine metadata
+	// (tables, compressors) beyond the run's lifetime.
+	sc.sys.engine = nil
+	sc.sys.sw = nil
+	sc.sys.counters = nil
+	sc.sys.observer = nil
+	if pi, ok := scratchPools.Load(cfg); ok {
+		pi.(*sync.Pool).Put(sc)
+	}
+}
+
 // Run executes a full trace on a fresh core and returns the statistics. If
 // counters were attached, the metadata-table counters are published to them.
+// The system and core scratch state come from a per-configuration pool.
 func Run(cfg Config, engine temporal.Engine, sw SWPrefetcher, counters *pmu.Counters, observer DemandObserver, src mem.Source) Stats {
-	sys := New(cfg, engine, sw, counters, observer)
-	coreStats := cpu.New(cfg.Core, sys).Run(src)
-	st := sys.Stats(coreStats)
+	sc := getScratch(cfg, engine, sw, counters, observer)
+	coreStats := sc.core.Run(src)
+	st := sc.sys.Stats(coreStats)
 	if counters != nil && engine != nil {
 		ts := engine.TableStats()
 		counters.SetTableCounters(ts.Insertions, ts.Replacements)
 	}
+	putScratch(cfg, sc)
 	return st
 }

@@ -26,19 +26,28 @@ const MaxIndex = 1<<IndexBits - 1
 // we reproduce it exactly. Index assignment is first-touch sequential, and
 // the mapping wraps (overwriting the oldest index) if a run ever exceeds
 // 2^31 distinct lines, which no simulated workload approaches.
+//
+// Index sits on the per-access hot path of every temporal scheme, so the
+// line -> index direction is an open-addressed probe map rather than a Go
+// map: one flat probe per lookup, no per-entry allocations.
 type Compressor struct {
-	toIndex map[mem.Line]uint32
+	toIndex *probeMap[mem.Line]
 	toLine  []mem.Line
 }
 
 // NewCompressor returns an empty compressor.
 func NewCompressor() *Compressor {
-	return &Compressor{toIndex: make(map[mem.Line]uint32)}
+	// Presized for the tens of thousands of distinct lines a typical
+	// simulated trace touches, so steady-state Index calls never rehash.
+	return &Compressor{
+		toIndex: newProbeMap[mem.Line](1 << 15),
+		toLine:  make([]mem.Line, 0, 1<<14),
+	}
 }
 
 // Index returns the compressed index for line l, allocating one on first use.
 func (c *Compressor) Index(l mem.Line) uint32 {
-	if idx, ok := c.toIndex[l]; ok {
+	if idx, ok := c.toIndex.get(l); ok {
 		return idx
 	}
 	idx := uint32(len(c.toLine)) & MaxIndex
@@ -46,17 +55,16 @@ func (c *Compressor) Index(l mem.Line) uint32 {
 		c.toLine = append(c.toLine, l)
 	} else {
 		// Wrapped: recycle the slot.
-		delete(c.toIndex, c.toLine[idx])
+		c.toIndex.del(c.toLine[idx])
 		c.toLine[idx] = l
 	}
-	c.toIndex[l] = idx
+	c.toIndex.set(l, idx)
 	return idx
 }
 
 // Lookup returns the index for l without allocating.
 func (c *Compressor) Lookup(l mem.Line) (uint32, bool) {
-	idx, ok := c.toIndex[l]
-	return idx, ok
+	return c.toIndex.get(l)
 }
 
 // Line translates a compressed index back to its line address.
@@ -68,4 +76,4 @@ func (c *Compressor) Line(idx uint32) (mem.Line, bool) {
 }
 
 // Entries returns the number of live mappings (for storage accounting).
-func (c *Compressor) Entries() int { return len(c.toIndex) }
+func (c *Compressor) Entries() int { return c.toIndex.len() }

@@ -36,6 +36,10 @@ type Engine interface {
 	// "prophet", ...).
 	Name() string
 	// OnAccess observes one L2 access and returns prefetch candidates.
+	// The returned slice may alias a scratch buffer owned by the engine:
+	// it is valid only until the next OnAccess call, and callers must not
+	// retain it. (The simulator issues the prefetches immediately, so the
+	// engines recycle one buffer across all accesses of a run.)
 	OnAccess(ev AccessEvent) []mem.Line
 	// PrefetchUseful reports a demand hit on a line prefetched by this
 	// engine; pc is the trigger PC recorded at issue.
@@ -105,7 +109,12 @@ func (u *TrainingUnit) Last(pc mem.Addr) (mem.Line, bool) {
 // steps, translating targets back to lines. It is the shared prediction loop
 // of Triage, Triangel and Prophet.
 func Chase(table *Table, comp *Compressor, src uint32, degree int) []mem.Line {
-	var out []mem.Line
+	return AppendChase(nil, table, comp, src, degree)
+}
+
+// AppendChase is Chase appending into dst, so per-access callers can recycle
+// one scratch buffer for the whole run instead of allocating per prediction.
+func AppendChase(dst []mem.Line, table *Table, comp *Compressor, src uint32, degree int) []mem.Line {
 	cur := src
 	for i := 0; i < degree; i++ {
 		target, ok := table.Lookup(cur)
@@ -116,25 +125,31 @@ func Chase(table *Table, comp *Compressor, src uint32, degree int) []mem.Line {
 		if !ok {
 			break
 		}
-		out = append(out, line)
+		dst = append(dst, line)
 		cur = target
 	}
-	return out
+	return dst
 }
 
 // ReuseBuffer is a small fully-associative cache of recently used metadata
 // (Triangel's reuse buffer). It filters repeated LLC metadata reads and
 // gives the Multi-path Victim Buffer its second lookup port. Capacity is in
 // entries; replacement is LRU.
+//
+// Storage is a flat entry array indexed through a probe map: lookups cost
+// one probe, inserts never allocate in steady state, and LRU eviction scans
+// the (small, fixed) entry array — deterministically, unlike iterating a Go
+// map. Timestamps are unique (the clock ticks on every touch), so the LRU
+// victim is unique and the scan order cannot influence results.
 type ReuseBuffer struct {
-	cap   int
-	clock uint64
-	data  map[uint32]*reuseEntry
-}
-
-type reuseEntry struct {
-	target uint32
-	last   uint64
+	cap     int
+	clock   uint64
+	index   *probeMap[uint32] // src -> slot in the entry arrays
+	keys    []uint32
+	targets []uint32
+	last    []uint64
+	used    []bool
+	n       int
 }
 
 // NewReuseBuffer returns a reuse buffer holding up to capEntries entries.
@@ -142,41 +157,61 @@ func NewReuseBuffer(capEntries int) *ReuseBuffer {
 	if capEntries <= 0 {
 		capEntries = 1
 	}
-	return &ReuseBuffer{cap: capEntries, data: make(map[uint32]*reuseEntry, capEntries)}
+	return &ReuseBuffer{
+		cap:     capEntries,
+		index:   newProbeMap[uint32](capEntries),
+		keys:    make([]uint32, capEntries),
+		targets: make([]uint32, capEntries),
+		last:    make([]uint64, capEntries),
+		used:    make([]bool, capEntries),
+	}
 }
 
 // Lookup returns the buffered target for src.
 func (b *ReuseBuffer) Lookup(src uint32) (uint32, bool) {
-	e, ok := b.data[src]
+	slot, ok := b.index.get(src)
 	if !ok {
 		return 0, false
 	}
 	b.clock++
-	e.last = b.clock
-	return e.target, true
+	b.last[slot] = b.clock
+	return b.targets[slot], true
 }
 
 // Insert buffers src -> target, evicting the LRU entry when full.
 func (b *ReuseBuffer) Insert(src, target uint32) {
 	b.clock++
-	if e, ok := b.data[src]; ok {
-		e.target = target
-		e.last = b.clock
+	if slot, ok := b.index.get(src); ok {
+		b.targets[slot] = target
+		b.last[slot] = b.clock
 		return
 	}
-	if len(b.data) >= b.cap {
-		var lruKey uint32
-		var lruT uint64
-		first := true
-		for k, e := range b.data {
-			if first || e.last < lruT {
-				lruKey, lruT, first = k, e.last, false
+	slot := -1
+	if b.n >= b.cap {
+		// Evict the LRU entry; clock uniqueness makes the victim unique.
+		lruT := b.last[0] + 1
+		for i := 0; i < b.cap; i++ {
+			if b.used[i] && b.last[i] < lruT {
+				slot, lruT = i, b.last[i]
 			}
 		}
-		delete(b.data, lruKey)
+		b.index.del(b.keys[slot])
+		b.n--
+	} else {
+		for i := 0; i < b.cap; i++ {
+			if !b.used[i] {
+				slot = i
+				break
+			}
+		}
 	}
-	b.data[src] = &reuseEntry{target: target, last: b.clock}
+	b.keys[slot] = src
+	b.targets[slot] = target
+	b.last[slot] = b.clock
+	b.used[slot] = true
+	b.index.set(src, uint32(slot))
+	b.n++
 }
 
 // Len returns the number of buffered entries.
-func (b *ReuseBuffer) Len() int { return len(b.data) }
+func (b *ReuseBuffer) Len() int { return b.n }

@@ -1,0 +1,86 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestProbeMapAgainstReference drives the open-addressed map with a
+// deterministic random op mix and cross-checks every result against Go's
+// built-in map. Deletion exercises backward-shift compaction, including
+// wrapped probe runs.
+func TestProbeMapAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := newProbeMap[uint64](4)
+	ref := map[uint64]uint32{}
+	const keySpace = 512 // small space forces collisions and reuse
+	for op := 0; op < 200_000; op++ {
+		k := uint64(rng.Intn(keySpace))
+		switch rng.Intn(3) {
+		case 0:
+			v := uint32(rng.Intn(1 << 20))
+			m.set(k, v)
+			ref[k] = v
+		case 1:
+			m.del(k)
+			delete(ref, k)
+		default:
+			got, ok := m.get(k)
+			want, wok := ref[k]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("op %d: get(%d) = %d,%v want %d,%v", op, k, got, ok, want, wok)
+			}
+		}
+		if m.len() != len(ref) {
+			t.Fatalf("op %d: len = %d want %d", op, m.len(), len(ref))
+		}
+	}
+	// Full sweep at the end.
+	for k := uint64(0); k < keySpace; k++ {
+		got, ok := m.get(k)
+		want, wok := ref[k]
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("final: get(%d) = %d,%v want %d,%v", k, got, ok, want, wok)
+		}
+	}
+}
+
+// TestProbeMapClusterDeletion deletes from the middle of a dense collision
+// run, the case backward-shift compaction must handle without breaking
+// later probes.
+func TestProbeMapClusterDeletion(t *testing.T) {
+	m := newProbeMap[uint32](4)
+	// Insert enough keys to guarantee clustered runs in a small table.
+	for k := uint32(0); k < 100; k++ {
+		m.set(k, k*10)
+	}
+	for k := uint32(0); k < 100; k += 2 {
+		m.del(k)
+	}
+	for k := uint32(0); k < 100; k++ {
+		v, ok := m.get(k)
+		if k%2 == 0 {
+			if ok {
+				t.Fatalf("get(%d) should be deleted", k)
+			}
+		} else if !ok || v != k*10 {
+			t.Fatalf("get(%d) = %d,%v want %d,true", k, v, ok, k*10)
+		}
+	}
+}
+
+func TestProbeMapGrowth(t *testing.T) {
+	m := newProbeMap[uint64](1)
+	const n = 10_000
+	for k := uint64(0); k < n; k++ {
+		m.set(k<<20|k, uint32(k))
+	}
+	if m.len() != n {
+		t.Fatalf("len = %d want %d", m.len(), n)
+	}
+	for k := uint64(0); k < n; k++ {
+		if v, ok := m.get(k<<20 | k); !ok || v != uint32(k) {
+			t.Fatalf("get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}

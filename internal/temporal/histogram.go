@@ -5,10 +5,16 @@ package temporal
 // 20.88%, 9.71% of memory addresses have 1, 2, 3 Markov targets"). It is an
 // offline measurement structure, not a hardware model, so it tracks exact
 // distinct-target sets up to a small cap.
+//
+// Sources live in flat parallel arrays indexed through one probe map, so an
+// Observe costs a single hash lookup and no per-source allocations (the old
+// layout kept two Go maps and one target slice per source).
 type TargetHistogram struct {
 	maxDistinct int
-	targets     map[uint64][]uint64
-	seen        map[uint64]uint32
+	index       *probeMap[uint64] // src -> slot
+	seen        []uint32          // observations per source
+	n           []uint8           // distinct targets recorded per source
+	targets     []uint64          // maxDistinct-wide window per source
 }
 
 // NewTargetHistogram returns a histogram that distinguishes target counts up
@@ -19,28 +25,39 @@ func NewTargetHistogram(maxDistinct int) *TargetHistogram {
 	}
 	return &TargetHistogram{
 		maxDistinct: maxDistinct,
-		targets:     make(map[uint64][]uint64),
-		seen:        make(map[uint64]uint32),
+		index:       newProbeMap[uint64](1 << 10),
 	}
 }
 
 // Observe records that source src was followed by target.
 func (h *TargetHistogram) Observe(src, target uint64) {
-	h.seen[src]++
-	ts := h.targets[src]
-	for _, t := range ts {
-		if t == target {
+	slot, ok := h.index.get(src)
+	if !ok {
+		slot = uint32(len(h.seen))
+		h.index.set(src, slot)
+		h.seen = append(h.seen, 0)
+		h.n = append(h.n, 0)
+		for i := 0; i < h.maxDistinct; i++ {
+			h.targets = append(h.targets, 0)
+		}
+	}
+	h.seen[slot]++
+	base := int(slot) * h.maxDistinct
+	k := int(h.n[slot])
+	for i := 0; i < k; i++ {
+		if h.targets[base+i] == target {
 			return
 		}
 	}
-	if len(ts) >= h.maxDistinct {
+	if k >= h.maxDistinct {
 		return // clamp: already in the final bucket
 	}
-	h.targets[src] = append(ts, target)
+	h.targets[base+k] = target
+	h.n[slot]++
 }
 
 // Sources returns the number of distinct source addresses observed.
-func (h *TargetHistogram) Sources() int { return len(h.targets) }
+func (h *TargetHistogram) Sources() int { return len(h.n) }
 
 // Fractions returns, for T = 1..maxDistinct, the fraction of sources with
 // exactly T distinct targets (the final bucket holds ">= maxDistinct").
@@ -53,11 +70,11 @@ func (h *TargetHistogram) Fractions() []float64 { return h.FractionsMin(1) }
 func (h *TargetHistogram) FractionsMin(minObservations uint32) []float64 {
 	out := make([]float64, h.maxDistinct)
 	total := 0.0
-	for src, ts := range h.targets {
-		if h.seen[src] < minObservations {
+	for slot := range h.n {
+		if h.seen[slot] < minObservations {
 			continue
 		}
-		n := len(ts)
+		n := int(h.n[slot])
 		if n > h.maxDistinct {
 			n = h.maxDistinct
 		}

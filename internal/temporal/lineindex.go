@@ -1,0 +1,52 @@
+package temporal
+
+import "prophet/internal/mem"
+
+// LineIndex maps cache lines to small integer slots (ring positions, table
+// indices). It is the exported face of the open-addressed probe map for the
+// scheme packages, which use it to index their samplers without paying Go
+// map costs on every trainable access.
+type LineIndex struct {
+	m *probeMap[mem.Line]
+}
+
+// NewLineIndex returns an index pre-sized for capHint lines.
+func NewLineIndex(capHint int) *LineIndex {
+	return &LineIndex{m: newProbeMap[mem.Line](capHint)}
+}
+
+// Get returns the slot stored for l.
+func (x *LineIndex) Get(l mem.Line) (int, bool) {
+	v, ok := x.m.get(l)
+	return int(v), ok
+}
+
+// Set stores l -> slot.
+func (x *LineIndex) Set(l mem.Line, slot int) { x.m.set(l, uint32(slot)) }
+
+// Del removes l if present.
+func (x *LineIndex) Del(l mem.Line) { x.m.del(l) }
+
+// Len returns the number of indexed lines.
+func (x *LineIndex) Len() int { return x.m.len() }
+
+// U32Set is an open-addressed set of uint32 keys — the distinct-source
+// estimator of Triage's resizing logic, which adds one element per trainable
+// access and must not pay a Go-map assignment for it.
+type U32Set struct {
+	m *probeMap[uint32]
+}
+
+// NewU32Set returns a set pre-sized for capHint elements.
+func NewU32Set(capHint int) *U32Set {
+	return &U32Set{m: newProbeMap[uint32](capHint)}
+}
+
+// Add inserts v.
+func (s *U32Set) Add(v uint32) { s.m.set(v, 0) }
+
+// Len returns the number of distinct elements.
+func (s *U32Set) Len() int { return s.m.len() }
+
+// Clear empties the set, keeping its capacity.
+func (s *U32Set) Clear() { s.m.clear() }

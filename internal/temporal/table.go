@@ -114,15 +114,28 @@ func (s TableStats) AllocatedEntries() uint64 {
 // Table is the in-LLC Markov metadata table. It is associativity-resizable:
 // its capacity is ways x Sets x EntriesPerWay and changing ways is how
 // resizing policies trade metadata capacity against demand LLC capacity.
+//
+// Storage is one flat entry array of Sets x (MaxWays x EntriesPerWay) slots;
+// set s occupies the window starting at s*maxPerSet with count[s] live
+// slots. A flat backing array costs two allocations per table instead of one
+// (growing) slice per hot set, and keeps a set's entries on adjacent cache
+// lines for the per-access linear tag scans.
 type Table struct {
-	cfg     TableConfig
-	ways    int
-	setBits uint
-	sets    [][]Entry
-	clock   uint64
-	stats   TableStats
-	hawkeye *hawkeyeState // non-nil for MetaHawkeye
+	cfg       TableConfig
+	ways      int
+	setBits   uint
+	maxPerSet int
+	entries   []Entry  // flat: Sets consecutive windows of maxPerSet slots
+	tags      []uint16 // scan accelerator: tag|tagLiveBit per live slot
+	count     []int32  // live slots per set (the old per-set slice length)
+	clock     uint64
+	stats     TableStats
+	hawkeye   *hawkeyeState // non-nil for MetaHawkeye
 }
+
+// tagLiveBit marks a live slot in the tags accelerator array. Tags are 10
+// bits, so bit 15 is free; a zero tags word can never match a probe.
+const tagLiveBit = 1 << 15
 
 // NewTable builds a table with the given initial ways. It panics on invalid
 // geometry (static configuration error).
@@ -139,16 +152,26 @@ func NewTable(cfg TableConfig, ways int) *Table {
 	if ways > cfg.MaxWays {
 		ways = cfg.MaxWays
 	}
+	maxPerSet := cfg.MaxWays * cfg.EntriesPerWay
 	t := &Table{
-		cfg:     cfg,
-		ways:    ways,
-		setBits: uint(bits.TrailingZeros(uint(cfg.Sets))),
-		sets:    make([][]Entry, cfg.Sets),
+		cfg:       cfg,
+		ways:      ways,
+		setBits:   uint(bits.TrailingZeros(uint(cfg.Sets))),
+		maxPerSet: maxPerSet,
+		entries:   make([]Entry, cfg.Sets*maxPerSet),
+		tags:      make([]uint16, cfg.Sets*maxPerSet),
+		count:     make([]int32, cfg.Sets),
 	}
 	if cfg.Policy == MetaHawkeye {
 		t.hawkeye = newHawkeyeState()
 	}
 	return t
+}
+
+// setSlice returns the live entries of one set (the window prefix).
+func (t *Table) setSlice(set int) []Entry {
+	base := set * t.maxPerSet
+	return t.entries[base : base+int(t.count[set])]
 }
 
 // Config returns the table geometry.
@@ -166,8 +189,8 @@ func (t *Table) Stats() TableStats { return t.stats }
 // Live returns the number of valid entries (for occupancy accounting).
 func (t *Table) Live() int {
 	n := 0
-	for _, s := range t.sets {
-		for _, e := range s {
+	for set := range t.count {
+		for _, e := range t.setSlice(set) {
 			if e.valid {
 				n++
 			}
@@ -187,27 +210,38 @@ func (t *Table) locate(src uint32) (set int, tag uint16) {
 func (t *Table) Lookup(src uint32) (target uint32, ok bool) {
 	t.stats.Lookups++
 	set, tag := t.locate(src)
-	for i := range t.sets[set] {
-		e := &t.sets[set][i]
-		if e.valid && e.Tag == tag {
-			t.stats.Hits++
-			t.clock++
-			e.rrpv = 0
-			e.last = t.clock
-			return e.Target, true
-		}
+	if i := t.findSlot(set, tag); i >= 0 {
+		e := &t.entries[set*t.maxPerSet+i]
+		t.stats.Hits++
+		t.clock++
+		e.rrpv = 0
+		e.last = t.clock
+		return e.Target, true
 	}
 	return 0, false
+}
+
+// findSlot scans the tags accelerator for a live entry with the given tag
+// and returns its slot within the set, or -1. Scanning 2-byte tag words
+// instead of 24-byte entries keeps the (up to 96-entry) probe inside a few
+// cache lines.
+func (t *Table) findSlot(set int, tag uint16) int {
+	base := set * t.maxPerSet
+	tags := t.tags[base : base+int(t.count[set])]
+	want := tag | tagLiveBit
+	for i, tg := range tags {
+		if tg == want {
+			return i
+		}
+	}
+	return -1
 }
 
 // Peek is Lookup without replacement-state side effects.
 func (t *Table) Peek(src uint32) (target uint32, ok bool) {
 	set, tag := t.locate(src)
-	for i := range t.sets[set] {
-		e := &t.sets[set][i]
-		if e.valid && e.Tag == tag {
-			return e.Target, true
-		}
+	if i := t.findSlot(set, tag); i >= 0 {
+		return t.entries[set*t.maxPerSet+i].Target, true
 	}
 	return 0, false
 }
@@ -225,25 +259,24 @@ func (t *Table) Insert(src, target uint32, priority uint8) Evicted {
 		return Evicted{}
 	}
 	set, tag := t.locate(src)
-	entries := t.sets[set]
+	base := set * t.maxPerSet
 	t.clock++
 	// Existing entry: update target in place, reporting the displaced
 	// target if it changed.
-	for i := range entries {
-		e := &entries[i]
-		if e.valid && e.Tag == tag {
-			ev := Evicted{}
-			if e.Target != target {
-				ev = Evicted{Set: set, Tag: e.Tag, Target: e.Target, Priority: e.Priority, Valid: true}
-			}
-			e.Target = target
-			e.Priority = priority
-			e.rrpv = 0
-			e.last = t.clock
-			t.stats.Updates++
-			return ev
+	if i := t.findSlot(set, tag); i >= 0 {
+		e := &t.entries[base+i]
+		ev := Evicted{}
+		if e.Target != target {
+			ev = Evicted{Set: set, Tag: e.Tag, Target: e.Target, Priority: e.Priority, Valid: true}
 		}
+		e.Target = target
+		e.Priority = priority
+		e.rrpv = 0
+		e.last = t.clock
+		t.stats.Updates++
+		return ev
 	}
+	entries := t.setSlice(set)
 	t.stats.Insertions++
 	insertRRPV := uint8(srripInsertRRPV)
 	if t.hawkeye != nil {
@@ -255,15 +288,20 @@ func (t *Table) Insert(src, target uint32, priority uint8) Evicted {
 			insertRRPV = srripMaxRRPV
 		}
 	}
-	// Free slot?
-	for i := range entries {
-		if !entries[i].valid {
+	// Free slot? (Scanned through the tags accelerator; live slots ahead
+	// of count only lose their tag bit transiently inside Resize, which
+	// compacts before returning, so a zero word here is authoritative.)
+	for i, tg := range t.tags[base : base+len(entries)] {
+		if tg&tagLiveBit == 0 {
 			entries[i] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: t.clock}
+			t.tags[base+i] = tag | tagLiveBit
 			return Evicted{}
 		}
 	}
 	if len(entries) < capPerSet {
-		t.sets[set] = append(entries, Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: t.clock})
+		t.entries[base+len(entries)] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: t.clock}
+		t.tags[base+len(entries)] = tag | tagLiveBit
+		t.count[set]++
 		return Evicted{}
 	}
 	// Replacement.
@@ -273,6 +311,7 @@ func (t *Table) Insert(src, target uint32, priority uint8) Evicted {
 		t.hawkeye.observeEviction(set, entries[vi].Tag)
 	}
 	entries[vi] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: t.clock}
+	t.tags[base+vi] = tag | tagLiveBit
 	t.stats.Replacements++
 	return ev
 }
@@ -365,16 +404,17 @@ func (t *Table) Resize(ways int) []Evicted {
 	var evs []Evicted
 	if ways < t.ways {
 		capPerSet := ways * t.cfg.EntriesPerWay
-		for set := range t.sets {
-			for countValid(t.sets[set]) > capPerSet {
-				vi := t.victim(t.sets[set])
-				e := &t.sets[set][vi]
+		for set := range t.count {
+			for countValid(t.setSlice(set)) > capPerSet {
+				entries := t.setSlice(set)
+				vi := t.victim(entries)
+				e := &entries[vi]
 				evs = append(evs, Evicted{Set: set, Tag: e.Tag, Target: e.Target, Priority: e.Priority, Valid: true})
 				e.valid = false
 				e.rrpv = srripMaxRRPV
 				e.last = 0
-				// Compact: drop trailing invalid entries.
-				t.sets[set] = compact(t.sets[set], capPerSet)
+				// Compact: drop invalid entries, preserving order.
+				t.compactSet(set)
 			}
 		}
 	}
@@ -392,16 +432,25 @@ func countValid(entries []Entry) int {
 	return n
 }
 
-func compact(entries []Entry, capPerSet int) []Entry {
-	out := entries[:0]
+// compactSet shifts a set's valid entries to the front of its window,
+// preserving their order, and shrinks the live count accordingly. The tags
+// accelerator moves in lock-step; slots beyond the new count are cleared so
+// stale tag words cannot match.
+func (t *Table) compactSet(set int) {
+	base := set * t.maxPerSet
+	entries := t.setSlice(set)
+	n := 0
 	for i := range entries {
 		if entries[i].valid {
-			out = append(out, entries[i])
+			if n != i {
+				entries[n] = entries[i]
+				t.tags[base+n] = t.tags[base+i]
+			}
+			n++
 		}
 	}
-	if len(out) > capPerSet && capPerSet >= 0 {
-		// Caller evicts one at a time; just return the live entries.
-		return out
+	for i := n; i < len(entries); i++ {
+		t.tags[base+i] = 0
 	}
-	return out
+	t.count[set] = int32(n)
 }

@@ -43,16 +43,17 @@ func Default() Config {
 
 // Prefetcher is the Triage engine.
 type Prefetcher struct {
-	cfg   Config
-	table *temporal.Table
-	comp  *temporal.Compressor
-	train *temporal.TrainingUnit
+	cfg     Config
+	table   *temporal.Table
+	comp    *temporal.Compressor
+	train   *temporal.TrainingUnit
+	scratch []mem.Line // prediction buffer reused across OnAccess calls
 
 	// Bloom-filter stand-in: distinct sources inserted this epoch. The
 	// hardware uses a counting Bloom filter of ~200KB (Section 2.1.3);
 	// functionally it estimates the distinct-entry count, which we track
 	// exactly and account for in internal/storage.
-	epochSources map[uint32]struct{}
+	epochSources *temporal.U32Set
 	epochAccess  uint64
 }
 
@@ -69,7 +70,8 @@ func New(cfg Config) *Prefetcher {
 		table:        temporal.NewTable(cfg.Table, cfg.Ways),
 		comp:         temporal.NewCompressor(),
 		train:        temporal.NewTrainingUnit(1024),
-		epochSources: make(map[uint32]struct{}),
+		scratch:      make([]mem.Line, 0, cfg.Degree),
+		epochSources: temporal.NewU32Set(1 << 14),
 	}
 }
 
@@ -94,13 +96,14 @@ func (p *Prefetcher) OnAccess(ev temporal.AccessEvent) []mem.Line {
 			src := p.comp.Index(prev)
 			p.table.Insert(src, cur, 0)
 			if p.cfg.BloomResize {
-				p.epochSources[src] = struct{}{}
+				p.epochSources.Add(src)
 			}
 		}
 	}
 	p.maybeResize()
 	// Prediction: walk the Markov chain from the current address.
-	return temporal.Chase(p.table, p.comp, cur, p.cfg.Degree)
+	p.scratch = temporal.AppendChase(p.scratch[:0], p.table, p.comp, cur, p.cfg.Degree)
+	return p.scratch
 }
 
 func (p *Prefetcher) maybeResize() {
@@ -112,8 +115,8 @@ func (p *Prefetcher) maybeResize() {
 		return
 	}
 	p.epochAccess = 0
-	distinct := len(p.epochSources)
-	p.epochSources = make(map[uint32]struct{})
+	distinct := p.epochSources.Len()
+	p.epochSources.Clear() // keep the set's capacity for the next epoch
 	perWay := p.cfg.Table.EntriesPerWayTotal()
 	ways := (distinct + perWay - 1) / perWay
 	if ways < 1 {

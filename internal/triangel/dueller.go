@@ -49,6 +49,8 @@ func newDueller(tableCfg temporal.TableConfig, metaWeight float64) *dueller {
 }
 
 // observeLLC feeds a demand LLC access (an L2 miss) into the LLC monitor.
+// The Mattson stack updates move-to-front in place — the shadow stacks are
+// long-lived and must not allocate per sampled access.
 func (d *dueller) observeLLC(l mem.Line) {
 	set := uint64(l) & 2047
 	if set&(1<<sampleShift-1) != 0 {
@@ -66,15 +68,22 @@ func (d *dueller) observeLLC(l mem.Line) {
 		if pos < len(d.llcHist) {
 			d.llcHist[pos]++
 		}
-		stack = append(stack[:pos], stack[pos+1:]...)
-	} else {
-		d.llcMisses++
+		// Move-to-front: rotate [0, pos] right by one.
+		copy(stack[1:pos+1], stack[:pos])
+		stack[0] = l
+		return
 	}
-	stack = append([]mem.Line{l}, stack...)
-	if len(stack) > duellerLLCWays {
-		stack = stack[:duellerLLCWays]
+	d.llcMisses++
+	if len(stack) < duellerLLCWays {
+		if stack == nil {
+			stack = make([]mem.Line, 0, duellerLLCWays)
+		}
+		stack = append(stack, 0)
+		d.llcSets[set] = stack
 	}
-	d.llcSets[set] = stack
+	// Prepend, dropping the coldest entry when already full.
+	copy(stack[1:], stack[:len(stack)-1])
+	stack[0] = l
 }
 
 // observeMeta feeds a metadata insertion/access into the metadata monitor.
@@ -97,15 +106,20 @@ func (d *dueller) observeMeta(src uint32) {
 		if way < len(d.metaHist) {
 			d.metaHist[way]++
 		}
-		stack = append(stack[:pos], stack[pos+1:]...)
-	} else {
-		d.metaMisses++
+		copy(stack[1:pos+1], stack[:pos])
+		stack[0] = src
+		return
 	}
-	stack = append([]uint32{src}, stack...)
-	if max := entriesPerWay * d.tableCfg.MaxWays; len(stack) > max {
-		stack = stack[:max]
+	d.metaMisses++
+	if max := entriesPerWay * d.tableCfg.MaxWays; len(stack) < max {
+		if stack == nil {
+			stack = make([]uint32, 0, max)
+		}
+		stack = append(stack, 0)
+		d.metaSets[set] = stack
 	}
-	d.metaSets[set] = stack
+	copy(stack[1:], stack[:len(stack)-1])
+	stack[0] = src
 }
 
 // choose returns the metadata way allocation maximizing estimated utility:

@@ -98,23 +98,26 @@ type reuseSample struct {
 
 // Prefetcher is the Triangel engine.
 type Prefetcher struct {
-	cfg   Config
-	table *temporal.Table
-	comp  *temporal.Compressor
-	train *temporal.TrainingUnit
-	pcs   []pcState // direct-mapped by PC, like the training unit
+	cfg     Config
+	table   *temporal.Table
+	comp    *temporal.Compressor
+	train   *temporal.TrainingUnit
+	pcs     []pcState  // direct-mapped by PC, like the training unit
+	scratch []mem.Line // prediction buffer reused across OnAccess calls
 
-	// History sampler (PatternConf).
+	// History sampler (PatternConf). The index maps line -> ring slot
+	// through an open-addressed probe map: sampler checks run on every
+	// trainable access, so the lookup must not cost a Go-map operation.
 	patRing  []patternSample
 	patHead  int
-	patIndex map[mem.Line]int // line -> ring slot
+	patIndex *temporal.LineIndex
 
 	// Reuse sampler (ReuseConf).
 	reuseRing  []reuseSample
 	reuseHead  int
 	reuseTail  int
 	reuseCount int
-	reuseIndex map[mem.Line]int
+	reuseIndex *temporal.LineIndex
 	accessTick uint64
 
 	dueller *dueller
@@ -131,10 +134,11 @@ func New(cfg Config) *Prefetcher {
 		comp:       temporal.NewCompressor(),
 		train:      temporal.NewTrainingUnit(1024),
 		pcs:        make([]pcState, 1024),
+		scratch:    make([]mem.Line, 0, cfg.Degree),
 		patRing:    make([]patternSample, patternSamplerCap),
-		patIndex:   make(map[mem.Line]int, patternSamplerCap),
+		patIndex:   temporal.NewLineIndex(patternSamplerCap),
 		reuseRing:  make([]reuseSample, reuseSamplerCap),
-		reuseIndex: make(map[mem.Line]int, reuseSamplerCap),
+		reuseIndex: temporal.NewLineIndex(reuseSamplerCap),
 	}
 	if cfg.SetDueller {
 		p.dueller = newDueller(cfg.Table, cfg.MetaHitWeight)
@@ -202,18 +206,19 @@ func (p *Prefetcher) OnAccess(ev temporal.AccessEvent) []mem.Line {
 	if ev.PC != 0 && p.pcSlot(ev.PC).patternConf < p.cfg.PatternThreshold {
 		degree = 1
 	}
-	return temporal.Chase(p.table, p.comp, cur, degree)
+	p.scratch = temporal.AppendChase(p.scratch[:0], p.table, p.comp, cur, degree)
+	return p.scratch
 }
 
 // checkPatternSample confirms or refutes a recorded (prev -> ?) sample.
 func (p *Prefetcher) checkPatternSample(prev, cur mem.Line) {
-	slot, ok := p.patIndex[prev]
+	slot, ok := p.patIndex.Get(prev)
 	if !ok {
 		return
 	}
 	s := p.patRing[slot]
 	if !s.valid || s.line != prev {
-		delete(p.patIndex, prev)
+		p.patIndex.Del(prev)
 		return
 	}
 	st := p.pcSlot(s.pc)
@@ -224,7 +229,7 @@ func (p *Prefetcher) checkPatternSample(prev, cur mem.Line) {
 	} else if st.patternConf > 0 {
 		st.patternConf--
 	}
-	delete(p.patIndex, prev)
+	p.patIndex.Del(prev)
 	p.patRing[slot] = patternSample{}
 }
 
@@ -236,15 +241,15 @@ func (p *Prefetcher) maybeAddPatternSample(pc mem.Addr, prev, cur mem.Line) {
 	if sampleHash(prev)&63 != 0 { // sample 1/64 of addresses
 		return
 	}
-	if _, ok := p.patIndex[prev]; ok {
+	if _, ok := p.patIndex.Get(prev); ok {
 		return
 	}
 	old := p.patRing[p.patHead]
 	if old.valid {
-		delete(p.patIndex, old.line)
+		p.patIndex.Del(old.line)
 	}
 	p.patRing[p.patHead] = patternSample{line: prev, expected: cur, pc: pc, valid: true}
-	p.patIndex[prev] = p.patHead
+	p.patIndex.Set(prev, p.patHead)
 	p.patHead = (p.patHead + 1) % len(p.patRing)
 }
 
@@ -252,7 +257,7 @@ func (p *Prefetcher) maybeAddPatternSample(pc mem.Addr, prev, cur mem.Line) {
 // table's entry capacity is evidence the PC's pattern fits the table.
 func (p *Prefetcher) observeReuse(pc mem.Addr, line mem.Line, st *pcState) {
 	window := uint64(p.table.Config().MaxEntries())
-	if slot, ok := p.reuseIndex[line]; ok {
+	if slot, ok := p.reuseIndex.Get(line); ok {
 		s := p.reuseRing[slot]
 		if s.valid && s.line == line {
 			if p.accessTick-s.tick <= window {
@@ -262,14 +267,14 @@ func (p *Prefetcher) observeReuse(pc mem.Addr, line mem.Line, st *pcState) {
 			} else if st.reuseConf > 0 {
 				st.reuseConf--
 			}
-			delete(p.reuseIndex, line)
+			p.reuseIndex.Del(line)
 			p.reuseRing[slot] = reuseSample{}
 		}
 	}
 	if sampleHash(line)>>6&63 != 0 { // sample 1/64 of lines
 		return
 	}
-	if _, ok := p.reuseIndex[line]; ok {
+	if _, ok := p.reuseIndex.Get(line); ok {
 		return
 	}
 	if p.reuseCount >= len(p.reuseRing) {
@@ -279,7 +284,7 @@ func (p *Prefetcher) observeReuse(pc mem.Addr, line mem.Line, st *pcState) {
 		p.dropOldestReuse(false)
 	}
 	p.reuseRing[p.reuseTail] = reuseSample{line: line, pc: pc, tick: p.accessTick, valid: true}
-	p.reuseIndex[line] = p.reuseTail
+	p.reuseIndex.Set(line, p.reuseTail)
 	p.reuseTail = (p.reuseTail + 1) % len(p.reuseRing)
 	p.reuseCount++
 }
@@ -306,7 +311,7 @@ func (p *Prefetcher) expireReuseSamples() {
 func (p *Prefetcher) dropOldestReuse(penalize bool) {
 	s := p.reuseRing[p.reuseHead]
 	if s.valid {
-		delete(p.reuseIndex, s.line)
+		p.reuseIndex.Del(s.line)
 		if penalize {
 			st := p.pcSlot(s.pc)
 			if st.reuseConf > 0 {
