@@ -1,0 +1,195 @@
+// Sharded multi-backend sweep dispatch: the client half of the fleet
+// protocol. An Evaluator configured with WithBackends fans Sweep jobs out
+// over remote prophetd instances through internal/dispatch — deterministic
+// hash sharding by workload+scheme, one batched POST /v1/batch per backend
+// shard, bounded retries, and failover to the in-process engine — and
+// merges results in job order, so output is byte-identical to a local
+// sweep. The wire types below are shared with the serving side in
+// internal/server, which keeps client and daemon from drifting apart.
+package prophet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"prophet/internal/dispatch"
+)
+
+// BatchJob is one job of a POST /v1/batch request: the serialized form of a
+// Job. Records 0 means the catalog default, exactly as in the Go API.
+type BatchJob struct {
+	Workload    string `json:"workload"`
+	Records     uint64 `json:"records,omitempty"`
+	Scheme      string `json:"scheme"`
+	TuneRecords uint64 `json:"tuneRecords,omitempty"`
+}
+
+// Job resolves the wire form back to an engine job. Fields pass through
+// verbatim — no trimming or canonicalization — so a job executes remotely
+// exactly as it would locally and a sharded sweep stays byte-identical to
+// SweepLocal even for malformed names (both sides then produce the same
+// error row).
+func (bj BatchJob) Job() Job {
+	return Job{
+		Workload:    Workload{Name: bj.Workload, Records: bj.Records},
+		Scheme:      Scheme(bj.Scheme),
+		TuneRecords: bj.TuneRecords,
+	}
+}
+
+// BatchRequest is the POST /v1/batch body: a batch of sweep jobs executed
+// by the receiving daemon's local engine (fan-out terminates at one hop, so
+// fleets cannot cascade).
+type BatchRequest struct {
+	Jobs []BatchJob `json:"jobs"`
+}
+
+// BatchResult is one row of a batch reply, in job order. Exactly one of
+// Stats/Error is set.
+type BatchResult struct {
+	Stats *RunStats      `json:"stats,omitempty"`
+	Meta  map[string]int `json:"meta,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/batch reply. Options echoes the engine
+// configuration the daemon actually simulated — the coordinator rejects a
+// batch whose configuration differs from its own, turning a misconfigured
+// worker into an explicit failover instead of silently merged wrong-config
+// results.
+type BatchResponse struct {
+	Options Options       `json:"options"`
+	Results []BatchResult `json:"results"`
+}
+
+// httpBackend executes job batches against one remote prophetd instance.
+// want is the coordinator's engine configuration; replies simulated under
+// anything else are treated as backend failures.
+type httpBackend struct {
+	base   string // URL prefix without trailing slash
+	client *http.Client
+	want   Options
+}
+
+func (b *httpBackend) Name() string { return b.base }
+
+func (b *httpBackend) Execute(ctx context.Context, jobs []Job) ([]Result, error) {
+	req := BatchRequest{Jobs: make([]BatchJob, len(jobs))}
+	for i, j := range jobs {
+		req.Jobs[i] = BatchJob{
+			Workload:    j.Workload.Name,
+			Records:     j.Workload.Records,
+			Scheme:      string(j.Scheme),
+			TuneRecords: j.TuneRecords,
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("prophet: backend %s: encode batch: %w", b.base, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("prophet: backend %s: %w", b.base, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("prophet: backend %s: %w", b.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("prophet: backend %s: HTTP %d: %s",
+			b.base, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, fmt.Errorf("prophet: backend %s: decode batch reply: %w", b.base, err)
+	}
+	if br.Options != b.want {
+		return nil, fmt.Errorf("prophet: backend %s: engine configuration mismatch (backend %+v, coordinator %+v) — start the worker with matching flags",
+			b.base, br.Options, b.want)
+	}
+	if len(br.Results) != len(jobs) {
+		return nil, fmt.Errorf("prophet: backend %s: %d results for %d jobs",
+			b.base, len(br.Results), len(jobs))
+	}
+	out := make([]Result, len(jobs))
+	for i, row := range br.Results {
+		out[i].Job = jobs[i]
+		switch {
+		case row.Error != "":
+			// The remote engine runs the exact error paths the local one
+			// would, so the message round-trips unchanged.
+			out[i].Err = errors.New(row.Error)
+		case row.Stats == nil:
+			return nil, fmt.Errorf("prophet: backend %s: result %d has neither stats nor error", b.base, i)
+		default:
+			out[i].Stats = *row.Stats
+			out[i].Meta = row.Meta
+		}
+	}
+	return out, nil
+}
+
+// DispatchStats snapshots the sweep dispatcher's counters. All zeros when
+// no backends are configured.
+type DispatchStats struct {
+	// Remote counts jobs completed by remote backends.
+	Remote int64 `json:"remote"`
+	// Local counts jobs completed in process (pinned file: workloads and
+	// failovers).
+	Local int64 `json:"local"`
+	// Retries counts batch retry attempts.
+	Retries int64 `json:"retries"`
+	// Failovers counts jobs re-run locally after a backend stayed down.
+	Failovers int64 `json:"failovers"`
+}
+
+// shardKey is the deterministic hash input for backend assignment: the
+// workload identity plus the scheme, so a fixed fleet places every
+// (workload, scheme) cell on the same backend across sweeps and that
+// backend's caches stay hot for it across repeated matrices. The tradeoff
+// is within one sweep: a workload's scheme cells can spread over several
+// workers, each simulating that workload's baseline once — accepted for
+// the finer-grained load spread (a coarser workload-only key would pin a
+// whole workload's matrix row, baseline included, to one worker).
+func shardKey(j Job) string {
+	return fmt.Sprintf("%s@%d|%s", j.Workload.Name, j.Workload.Records, j.Scheme)
+}
+
+// pinnedLocal reports jobs that must not leave this process: file: traces
+// reference paths remote daemons cannot read.
+func pinnedLocal(j Job) bool { return strings.HasPrefix(j.Workload.Name, "file:") }
+
+// newDispatcher wires the evaluator's backend ring. Called from New after
+// the local engine exists (the dispatcher's failover closes over it).
+func (e *Evaluator) newDispatcher() *dispatch.Dispatcher[Job, Result] {
+	client := e.backendClient
+	if client == nil {
+		// No client-level timeout: simulations legitimately run long.
+		// Callers bound sweeps with the context.
+		client = &http.Client{}
+	}
+	ring := make([]dispatch.Backend[Job, Result], len(e.backendURLs))
+	for i, u := range e.backendURLs {
+		ring[i] = &httpBackend{base: strings.TrimRight(u, "/"), client: client, want: e.opts}
+	}
+	return dispatch.New(dispatch.Config[Job, Result]{
+		Backends: ring,
+		Local: func(ctx context.Context, jobs []Job) []Result {
+			rs, _ := e.sweepLocal(ctx, jobs...)
+			return rs
+		},
+		Key:      shardKey,
+		Pin:      pinnedLocal,
+		Retries:  e.backendRetries,
+		MaxBatch: e.backendMaxBatch,
+	})
+}

@@ -7,9 +7,18 @@
 //	experiments -run F10,F19    # run selected experiments
 //	experiments -quick          # reduced workload sets and trace lengths
 //	experiments -records N      # override trace length per run
+//	experiments -backends http://w1:8373,http://w2:8373
+//
+// With -backends, the comparison sweeps behind the default-configuration
+// figures (F10–F12, F15) shard across the given prophetd fleet — one
+// batched request per backend, failover to the local engine — and render
+// byte-identical output, provided the daemons run the default engine
+// configuration. Figures that override the configuration (F16–F18) and
+// -quick mode always run in process.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +27,7 @@ import (
 
 	"prophet"
 
+	"prophet/internal/cliutil"
 	"prophet/internal/experiments"
 )
 
@@ -27,6 +37,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced workload sets and trace lengths")
 	records := flag.Uint64("records", 0, "override memory records per run (0 = workload default)")
 	workers := flag.Int("workers", 0, "worker pool per experiment (0 = all CPUs, 1 = serial; output is byte-identical either way)")
+	backends := flag.String("backends", "", "comma-separated prophetd base URLs to shard default-configuration figure sweeps across")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -43,6 +54,10 @@ func main() {
 	}
 
 	opts := experiments.Options{Quick: *quick, Records: *records, Workers: *workers}
+	if urls := cliutil.SplitList(*backends); len(urls) > 0 {
+		ev := prophet.New(prophet.WithBackends(urls...), prophet.WithWorkers(*workers))
+		opts.RemoteSweep = remoteSweep(ev)
+	}
 	var ids []string
 	if *run != "" {
 		ids = strings.Split(*run, ",")
@@ -61,5 +76,37 @@ func main() {
 		}
 		fmt.Print(res.Render())
 		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// remoteSweep adapts a backend-configured Evaluator to the experiments
+// package's fleet hook (the callback keeps internal/experiments free of the
+// public-API import cycle).
+func remoteSweep(ev *prophet.Evaluator) experiments.RemoteSweepFunc {
+	return func(jobs []experiments.RemoteJob) []experiments.RemoteRun {
+		pj := make([]prophet.Job, len(jobs))
+		for i, j := range jobs {
+			pj[i] = prophet.Job{
+				Workload: prophet.Workload{Name: j.Workload, Records: j.Records},
+				Scheme:   prophet.Scheme(j.Scheme),
+			}
+		}
+		// The dispatcher never fails sweep-level with a background context;
+		// per-job errors ride in the rows.
+		res, _ := ev.Sweep(context.Background(), pj...)
+		out := make([]experiments.RemoteRun, len(res))
+		for i, r := range res {
+			out[i] = experiments.RemoteRun{
+				IPC:      r.Stats.IPC,
+				Speedup:  r.Stats.Speedup,
+				Traffic:  r.Stats.NormalizedTraffic,
+				Coverage: r.Stats.Coverage,
+				Accuracy: r.Stats.Accuracy,
+				MetaWays: r.Stats.MetaWays,
+				Meta:     r.Meta,
+				Err:      r.Err,
+			}
+		}
+		return out
 	}
 }

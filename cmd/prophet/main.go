@@ -9,6 +9,16 @@
 //	prophet -inputs gcc_166,gcc_expr -eval gcc_200
 //	prophet -inputs mcf            # profile and evaluate the same input
 //	prophet -inputs omnetpp -el-acc 0.25 -priority-bits 3
+//	prophet -inputs mcf -backends http://w1:8373,http://w2:8373
+//
+// With -backends, the Triangel reference runs are swept as one batch
+// sharded across the remote prophetd fleet. Baselines and the
+// profile-guided Prophet runs stay local: the Prophet runs carry this
+// process's learned hints and normalize against the locally cached
+// baselines, so shipping baselines out would only simulate them twice.
+// Results are byte-identical to a local run when the backends simulate the
+// same configuration, so point -backends at daemons started with matching
+// flags.
 package main
 
 import (
@@ -20,6 +30,8 @@ import (
 	"strings"
 
 	"prophet"
+
+	"prophet/internal/cliutil"
 )
 
 func main() {
@@ -30,6 +42,7 @@ func main() {
 	prioBits := flag.Int("priority-bits", 2, "replacement priority bits n (Equation 2)")
 	mvbCand := flag.Int("mvb-candidates", 1, "Multi-path Victim Buffer candidates per lookup")
 	learnL := flag.Int("learn-l", 4, "Equation 4 designer parameter L")
+	backends := flag.String("backends", "", "comma-separated prophetd base URLs to shard reference runs across")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -44,12 +57,16 @@ func main() {
 	}
 
 	ctx := context.Background()
-	ev := prophet.New(
+	evOpts := []prophet.Option{
 		prophet.WithELAcc(*elAcc),
 		prophet.WithPriorityBits(*prioBits),
 		prophet.WithMVBCandidates(*mvbCand),
 		prophet.WithLearningL(*learnL),
-	)
+	}
+	if urls := cliutil.SplitList(*backends); len(urls) > 0 {
+		evOpts = append(evOpts, prophet.WithBackends(urls...))
+	}
+	ev := prophet.New(evOpts...)
 	s := ev.NewSession()
 
 	for _, name := range strings.Split(*inputs, ",") {
@@ -74,23 +91,42 @@ func main() {
 	if evalList == "" {
 		evalList = *inputs
 	}
-	fmt.Printf("\n%-16s %10s %10s %10s %12s %12s\n", "workload", "baseIPC", "triangel", "prophet", "vs baseline", "vs triangel")
+	var ws []prophet.Workload
 	for _, name := range strings.Split(evalList, ",") {
 		w, err := resolve(name, *records)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		// The baseline is simulated once per workload across both runs
-		// below — the session and the evaluator share one cache.
-		base, err := ev.Run(ctx, w, prophet.Baseline)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		ws = append(ws, w)
+	}
+
+	// Baselines run in process on purpose: the session's Prophet runs below
+	// need each workload's baseline to normalize their speedup, and a
+	// local sweep populates the shared cache so every baseline simulates
+	// exactly once. The Triangel reference runs carry no such coupling, so
+	// they go out as one sweep — sharded across the fleet with -backends,
+	// fanned over the local worker pool without.
+	bases, err := ev.SweepLocal(ctx, prophet.Jobs(ws, prophet.Baseline)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	trs, err := ev.Sweep(ctx, prophet.Jobs(ws, prophet.Triangel)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\n%-16s %10s %10s %10s %12s %12s\n", "workload", "baseIPC", "triangel", "prophet", "vs baseline", "vs triangel")
+	for i, w := range ws {
+		base, tr := bases[i], trs[i]
+		if base.Err != nil {
+			fmt.Fprintln(os.Stderr, base.Err)
 			os.Exit(1)
 		}
-		tr, err := ev.Run(ctx, w, prophet.Triangel)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		if tr.Err != nil {
+			fmt.Fprintln(os.Stderr, tr.Err)
 			os.Exit(1)
 		}
 		pr, err := s.Run(ctx, bin, w)
@@ -99,9 +135,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("%-16s %10.4f %10.4f %10.4f %11.2f%% %11.2f%%\n",
-			w.Name, base.IPC, tr.IPC, pr.IPC,
+			w.Name, base.Stats.IPC, tr.Stats.IPC, pr.IPC,
 			(pr.Speedup-1)*100,
-			(pr.IPC/tr.IPC-1)*100)
+			(pr.IPC/tr.Stats.IPC-1)*100)
 	}
 }
 

@@ -33,11 +33,12 @@ import (
 	"os"
 	"runtime"
 	"sort"
-	"strings"
 	"testing"
 	"time"
 
 	"prophet"
+
+	"prophet/internal/cliutil"
 )
 
 // schemaVersion identifies the JSON layout; bump on incompatible change.
@@ -106,8 +107,8 @@ func main() {
 		Records:   *records,
 	}
 
-	ws := splitList(*workloadsFlag)
-	schemes := splitList(*schemesFlag)
+	ws := cliutil.SplitList(*workloadsFlag)
+	schemes := cliutil.SplitList(*schemesFlag)
 	if len(ws) == 0 || len(schemes) == 0 {
 		fatalf("empty workload or scheme list")
 	}
@@ -376,16 +377,6 @@ func readReport(path string) (Report, error) {
 	}
 	sort.Slice(rep.Cells, func(i, j int) bool { return rep.Cells[i].key() < rep.Cells[j].key() })
 	return rep, nil
-}
-
-func splitList(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }
 
 func fatalf(format string, args ...any) {

@@ -11,7 +11,15 @@
 //	prophetd                          # serve on :8373 with default engine
 //	prophetd -addr :9000 -workers 8
 //	prophetd -cache-ttl 1h -queue 128
+//	prophetd -peers http://w1:8373,http://w2:8373   # coordinate a fleet
 //	prophetd -version
+//
+// With -peers the daemon becomes a fleet coordinator: incoming sweeps are
+// sharded across the peer daemons by workload+scheme hash (one batched
+// POST /v1/batch per peer), with retries and failover to the local engine,
+// and the merged results are byte-identical to a standalone run. Peers
+// execute batches on their own engines only — fan-out never cascades — so
+// a peer list must name other daemons, not the daemon itself.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: intake stops, open
 // connections drain, queued jobs are cancelled.
@@ -26,11 +34,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"prophet"
 
+	"prophet/internal/cliutil"
 	"prophet/internal/server"
 )
 
@@ -47,6 +57,8 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "async job pool size")
 	queueDepth := flag.Int("queue", 64, "async job queue bound")
 	jobRetention := flag.Int("job-retention", 256, "finished jobs kept for polling before eviction")
+	peers := flag.String("peers", "", "comma-separated peer prophetd base URLs to shard sweeps across (coordinator mode)")
+	peerRetries := flag.Int("peer-retries", 2, "batch attempts per peer before failing over to the local engine")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -56,14 +68,22 @@ func main() {
 		return
 	}
 
-	ev := prophet.New(
+	evOpts := []prophet.Option{
 		prophet.WithWorkers(*workers),
 		prophet.WithELAcc(*elAcc),
 		prophet.WithPriorityBits(*prioBits),
 		prophet.WithMVBCandidates(*mvbCand),
 		prophet.WithLearningL(*learnL),
 		prophet.WithDRAMChannels(*channels),
-	)
+	}
+	peerList := cliutil.SplitList(*peers)
+	if len(peerList) > 0 {
+		evOpts = append(evOpts,
+			prophet.WithBackends(peerList...),
+			prophet.WithBackendRetries(*peerRetries),
+		)
+	}
+	ev := prophet.New(evOpts...)
 	srv := server.New(server.Config{
 		Evaluator:    ev,
 		CacheEntries: *cacheEntries,
@@ -84,6 +104,9 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("prophetd %s listening on %s (%d sweep workers, %d job workers, queue %d)",
 		prophet.Version(), *addr, ev.Workers(), *jobWorkers, *queueDepth)
+	if len(peerList) > 0 {
+		log.Printf("coordinating sweeps across %d peers: %s", len(peerList), strings.Join(peerList, ", "))
+	}
 
 	select {
 	case err := <-errc:

@@ -3,7 +3,9 @@ package prophet
 import (
 	"context"
 	"fmt"
+	"net/http"
 
+	"prophet/internal/dispatch"
 	"prophet/internal/experiments"
 	"prophet/internal/pipeline"
 	"prophet/internal/registry"
@@ -14,13 +16,21 @@ import (
 // pipeline configuration, a per-workload baseline cache, and a concurrent
 // sweep engine over the pluggable scheme registry. It is safe for
 // concurrent use, and all runs are deterministic — a parallel Sweep returns
-// bit-identical results to a serial one.
+// bit-identical results to a serial one, and a Sweep sharded over remote
+// backends (WithBackends) returns bit-identical results to an in-process
+// one.
 type Evaluator struct {
 	opts    Options
 	l1pf    L1Prefetcher
 	workers int
 
-	eng *pipeline.Evaluator
+	backendURLs     []string
+	backendClient   *http.Client
+	backendRetries  int
+	backendMaxBatch int
+
+	eng  *pipeline.Evaluator
+	disp *dispatch.Dispatcher[Job, Result]
 }
 
 // Option configures an Evaluator under construction.
@@ -67,6 +77,39 @@ func WithIPCPPrefetcher() Option { return WithL1Prefetcher(L1IPCP) }
 // WithWorkers bounds the Sweep worker pool (default: runtime.NumCPU()).
 func WithWorkers(n int) Option { return func(e *Evaluator) { e.workers = n } }
 
+// WithBackends configures remote prophetd base URLs (e.g.
+// "http://worker1:8373") as a sharded sweep fleet. When at least one
+// backend is configured, Sweep assigns each job to a backend by a
+// deterministic hash of its workload+scheme key, batches per-backend jobs
+// into single POST /v1/batch requests, retries failed batches, and fails
+// over to the in-process engine when a backend stays down — results come
+// back in job order, byte-identical to a purely local sweep as long as the
+// backends simulate the same engine configuration. Jobs naming "file:"
+// trace workloads always run locally (remote daemons cannot read this
+// machine's files). Run, RunJob, and SweepLocal never leave the process.
+func WithBackends(urls ...string) Option {
+	return func(e *Evaluator) { e.backendURLs = append([]string(nil), urls...) }
+}
+
+// WithBackendClient sets the HTTP client used to reach backends (default: a
+// client with no request timeout — sweeps are bounded by their context).
+func WithBackendClient(c *http.Client) Option {
+	return func(e *Evaluator) { e.backendClient = c }
+}
+
+// WithBackendRetries sets how many attempts each batch gets on its backend
+// before failing over to the local engine (default 2).
+func WithBackendRetries(n int) Option {
+	return func(e *Evaluator) { e.backendRetries = n }
+}
+
+// WithBackendMaxBatch caps jobs per batch request; a backend's shard beyond
+// the cap is split into concurrent chunks (default 0 = one request per
+// backend per sweep).
+func WithBackendMaxBatch(n int) Option {
+	return func(e *Evaluator) { e.backendMaxBatch = n }
+}
+
 // New constructs an Evaluator from the paper's default configuration plus
 // the given options.
 func New(opts ...Option) *Evaluator {
@@ -85,7 +128,26 @@ func New(opts ...Option) *Evaluator {
 		cfg.Sim.L1PF = sim.L1None
 	}
 	e.eng = pipeline.NewEvaluator(cfg, e.workers)
+	if len(e.backendURLs) > 0 {
+		e.disp = e.newDispatcher()
+	}
 	return e
+}
+
+// Backends reports the configured remote backend URLs (nil when sweeps run
+// purely in process).
+func (e *Evaluator) Backends() []string {
+	return append([]string(nil), e.backendURLs...)
+}
+
+// DispatchStats reports cumulative sweep-dispatch counters; all zeros when
+// no backends are configured.
+func (e *Evaluator) DispatchStats() DispatchStats {
+	if e.disp == nil {
+		return DispatchStats{}
+	}
+	st := e.disp.Stats()
+	return DispatchStats{Remote: st.Remote, Local: st.Local, Retries: st.Retries, Failovers: st.Failovers}
 }
 
 // Workers reports the sweep pool width actually in use.
@@ -181,7 +243,27 @@ func (e *Evaluator) RunJob(ctx context.Context, j Job) (Report, error) {
 // 5-scheme sweep over one workload simulates its baseline once, not five
 // times. Cancelling the context aborts the sweep promptly — jobs not yet
 // started report the context error — and Sweep returns that error.
+//
+// With remote backends configured (WithBackends), the sweep is instead
+// sharded across the fleet: jobs are batched per backend, failed backends
+// fail over to the local engine, and the merged results are byte-identical
+// to an in-process sweep of the same jobs.
 func (e *Evaluator) Sweep(ctx context.Context, jobs ...Job) ([]Result, error) {
+	if e.disp != nil {
+		return e.disp.Dispatch(ctx, jobs), ctx.Err()
+	}
+	return e.sweepLocal(ctx, jobs...)
+}
+
+// SweepLocal is Sweep restricted to the in-process engine, ignoring any
+// configured backends. The daemon's batch endpoint executes through this,
+// so fleet fan-out terminates after one hop instead of cascading between
+// peers.
+func (e *Evaluator) SweepLocal(ctx context.Context, jobs ...Job) ([]Result, error) {
+	return e.sweepLocal(ctx, jobs...)
+}
+
+func (e *Evaluator) sweepLocal(ctx context.Context, jobs ...Job) ([]Result, error) {
 	results := make([]Result, len(jobs))
 	valid := make([]pipeline.Job, 0, len(jobs))
 	validIdx := make([]int, 0, len(jobs))

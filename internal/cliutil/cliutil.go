@@ -1,0 +1,17 @@
+// Package cliutil holds tiny helpers shared by the cmd tools' flag
+// parsing, so list-valued flags behave identically everywhere.
+package cliutil
+
+import "strings"
+
+// SplitList parses a comma-separated flag value, trimming whitespace and
+// dropping empty entries ("a, b,,c" -> ["a" "b" "c"]).
+func SplitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+// Package dispatch implements horizontal sharding of sweep work across
+// multiple backends: jobs are assigned to backends by a deterministic hash
+// of a caller-provided shard key, batched per backend to amortize
+// round-trips, retried with exponential backoff on backend failure, and
+// failed over to an infallible local runner when a backend stays down — all
+// while preserving the caller's job order, so the merged result is
+// byte-identical to a single-backend run of the same deterministic jobs.
+//
+// The package is generic over job and result types and knows nothing about
+// HTTP or simulation: the prophet package instantiates it with
+// (prophet.Job, prophet.Result) over remote prophetd backends, and tests
+// drive it with plain values. A batch is all-or-nothing: a backend either
+// returns exactly one result per job or the whole batch is retried and
+// eventually re-run locally, so jobs are never lost or duplicated.
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend executes batches of jobs remotely (or anywhere else). Execute
+// must return exactly one result per job, in job order; any error (or a
+// length mismatch) marks the whole batch as failed and triggers retry and
+// eventually failover. Execute must be safe for concurrent use: one
+// dispatch may issue several chunks to the same backend at once.
+type Backend[J, R any] interface {
+	// Name identifies the backend in errors and logs (typically its URL).
+	Name() string
+	// Execute runs the batch and returns one result per job, in order.
+	Execute(ctx context.Context, jobs []J) ([]R, error)
+}
+
+// Config assembles a Dispatcher.
+type Config[J, R any] struct {
+	// Backends is the shard ring. Empty means every job runs locally.
+	Backends []Backend[J, R]
+	// Local runs a batch in process, returning one result per job, in
+	// order. It is the failover target and must not fail (job-level errors
+	// belong inside R). Required.
+	Local func(ctx context.Context, jobs []J) []R
+	// Key returns the job's shard key; equal keys always land on the same
+	// backend (for a fixed ring). Required.
+	Key func(J) string
+	// Pin reports jobs that must run locally regardless of the ring (e.g.
+	// workloads referencing local files a remote cannot read). Optional.
+	Pin func(J) bool
+	// Retries is the number of attempts per batch per backend before
+	// failing over (default 2 — one try plus one retry).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// (default 25ms).
+	Backoff time.Duration
+	// MaxBatch caps jobs per Execute call; larger shards are split into
+	// consecutive chunks issued concurrently (0 = unlimited).
+	MaxBatch int
+
+	// sleep overrides the inter-retry wait in tests.
+	sleep func(ctx context.Context, d time.Duration)
+}
+
+// Stats is a point-in-time snapshot of dispatcher activity.
+type Stats struct {
+	// Remote counts jobs completed by remote backends.
+	Remote int64
+	// Local counts jobs completed by the local runner: pinned jobs,
+	// no-backend dispatches, and failovers.
+	Local int64
+	// Retries counts batch retry attempts (not jobs).
+	Retries int64
+	// Failovers counts jobs re-run locally after a backend's retries were
+	// exhausted.
+	Failovers int64
+}
+
+// Dispatcher fans job lists out over a fixed backend ring. It is safe for
+// concurrent use; each Dispatch call merges its own results.
+type Dispatcher[J, R any] struct {
+	cfg Config[J, R]
+
+	remote, local, retries, failovers atomic.Int64
+}
+
+// New validates cfg and builds a Dispatcher. Local and Key are required.
+func New[J, R any](cfg Config[J, R]) *Dispatcher[J, R] {
+	if cfg.Local == nil {
+		panic("dispatch: Config.Local is required")
+	}
+	if cfg.Key == nil {
+		panic("dispatch: Config.Key is required")
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 2
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = sleepCtx
+	}
+	return &Dispatcher[J, R]{cfg: cfg}
+}
+
+// Stats reports cumulative dispatcher counters.
+func (d *Dispatcher[J, R]) Stats() Stats {
+	return Stats{
+		Remote:    d.remote.Load(),
+		Local:     d.local.Load(),
+		Retries:   d.retries.Load(),
+		Failovers: d.failovers.Load(),
+	}
+}
+
+// Dispatch shards jobs over the ring, executes the per-backend batches
+// concurrently, and returns one result per job in the original job order.
+// Backend failures degrade to the local runner; Dispatch itself never
+// fails. Cancelling ctx short-circuits retries — outstanding batches fall
+// through to the local runner, which is expected to surface the context
+// error in its per-job results.
+func (d *Dispatcher[J, R]) Dispatch(ctx context.Context, jobs []J) []R {
+	out := make([]R, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	if len(d.cfg.Backends) == 0 {
+		d.runLocal(ctx, jobs, nil, out)
+		return out
+	}
+
+	// Assignment: hash of the shard key picks the backend; pinned jobs
+	// form one extra local batch. Index lists stay in ascending job order,
+	// so each batch preserves the caller's relative ordering.
+	shards := make([][]int, len(d.cfg.Backends))
+	var pinned []int
+	for i, j := range jobs {
+		if d.cfg.Pin != nil && d.cfg.Pin(j) {
+			pinned = append(pinned, i)
+			continue
+		}
+		s := int(fnv64a(d.cfg.Key(j)) % uint64(len(d.cfg.Backends)))
+		shards[s] = append(shards[s], i)
+	}
+
+	var wg sync.WaitGroup
+	for s, idx := range shards {
+		b := d.cfg.Backends[s]
+		for len(idx) > 0 {
+			n := len(idx)
+			if d.cfg.MaxBatch > 0 && n > d.cfg.MaxBatch {
+				n = d.cfg.MaxBatch
+			}
+			chunk := idx[:n:n]
+			idx = idx[n:]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d.runBatch(ctx, b, jobs, chunk, out)
+			}()
+		}
+	}
+	if len(pinned) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.runLocal(ctx, jobs, pinned, out)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runBatch executes one backend chunk with retries, falling back to the
+// local runner when every attempt fails.
+func (d *Dispatcher[J, R]) runBatch(ctx context.Context, b Backend[J, R], jobs []J, idx []int, out []R) {
+	batch := gather(jobs, idx)
+	backoff := d.cfg.Backoff
+	for attempt := 0; attempt < d.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			d.retries.Add(1)
+			d.cfg.sleep(ctx, backoff)
+			backoff *= 2
+		}
+		if ctx.Err() != nil {
+			break // no point retrying a cancelled sweep
+		}
+		res, err := b.Execute(ctx, batch)
+		if err == nil && len(res) != len(batch) {
+			err = fmt.Errorf("dispatch: backend %s returned %d results for %d jobs",
+				b.Name(), len(res), len(batch))
+		}
+		if err == nil {
+			d.remote.Add(int64(len(idx)))
+			scatter(out, idx, res)
+			return
+		}
+	}
+	d.failovers.Add(int64(len(idx)))
+	d.runLocal(ctx, jobs, idx, out)
+}
+
+// runLocal executes the jobs at idx (all jobs when idx is nil) through the
+// local runner and scatters the results. The local runner is trusted to
+// return one result per job; a short return leaves the missing slots at
+// their zero value rather than panicking mid-merge.
+func (d *Dispatcher[J, R]) runLocal(ctx context.Context, jobs []J, idx []int, out []R) {
+	if idx == nil {
+		d.local.Add(int64(len(jobs)))
+		copy(out, d.cfg.Local(ctx, jobs))
+		return
+	}
+	d.local.Add(int64(len(idx)))
+	res := d.cfg.Local(ctx, gather(jobs, idx))
+	scatter(out, idx, res)
+}
+
+// gather collects jobs[idx...] preserving idx order.
+func gather[J any](jobs []J, idx []int) []J {
+	batch := make([]J, len(idx))
+	for k, i := range idx {
+		batch[k] = jobs[i]
+	}
+	return batch
+}
+
+// scatter writes batch results back to their original positions.
+func scatter[R any](out []R, idx []int, res []R) {
+	for k, i := range idx {
+		if k < len(res) {
+			out[i] = res[k]
+		}
+	}
+}
+
+// sleepCtx waits for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// fnv64a is the FNV-1a 64-bit hash: deterministic across processes and Go
+// versions, so a coordinator fleet agrees on shard placement.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

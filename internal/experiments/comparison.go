@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"prophet/internal/graphs"
 	"prophet/internal/pipeline"
 	"prophet/internal/sim"
 	"prophet/internal/stats"
@@ -30,15 +31,32 @@ type comparison struct {
 	Notes    []string
 }
 
-// namedWorkload pairs a label with its trace factory.
+// namedWorkload pairs a label with its trace factory. Records is the
+// effective trace length — what a remote backend needs alongside the name
+// to regenerate the identical trace.
 type namedWorkload struct {
 	Name    string
+	Records uint64
 	Factory pipeline.SourceFactory
 }
 
 // comparisonSchemes are the registered schemes every comparison evaluates,
 // in figure order.
 var comparisonSchemes = []string{"rpg2", "triangel", "prophet"}
+
+// runComparisonDefault is runComparison for the figures that evaluate the
+// paper's default configuration (F10–F12, F15): exactly those sweeps can be
+// dispatched to a remote fleet, because remote daemons simulate their own
+// fixed configuration — the default, when started without tuning flags.
+// Quick mode always runs in process: its scaled-down workload specs exist
+// only locally, so a remote daemon resolving the same name would generate a
+// different trace.
+func runComparisonDefault(opts Options, list []namedWorkload) comparison {
+	if opts.RemoteSweep != nil && !opts.Quick {
+		return runRemoteComparison(opts, list)
+	}
+	return runComparison(pipeline.Default(), opts, list)
+}
 
 // runComparison evaluates all three schemes against the no-TP baseline
 // through an Evaluator sweep: every (workload, scheme) pair runs on the
@@ -103,6 +121,55 @@ func runComparison(cfg pipeline.Config, opts Options, list []namedWorkload) comp
 	return c
 }
 
+// runRemoteComparison is the fleet-dispatched comparison: one RemoteJob per
+// (workload, scheme) cell — plus an explicit baseline job per workload,
+// since the remote outcome rows arrive already normalized and the notes
+// need the raw baseline IPC. The normalization formulas run on the backend
+// (prophet's summarize uses the same stats helpers as the local path), so
+// the assembled comparison is byte-identical to runComparison over the
+// default configuration.
+func runRemoteComparison(opts Options, list []namedWorkload) comparison {
+	schemes := append([]string{"baseline"}, comparisonSchemes...)
+	jobs := make([]RemoteJob, 0, len(list)*len(schemes))
+	for _, w := range list {
+		for _, s := range schemes {
+			jobs = append(jobs, RemoteJob{Workload: w.Name, Records: w.Records, Scheme: s})
+		}
+	}
+	rows := opts.RemoteSweep(jobs)
+	if len(rows) != len(jobs) {
+		panic(fmt.Sprintf("experiments: remote sweep returned %d rows for %d jobs", len(rows), len(jobs)))
+	}
+	var c comparison
+	for i, w := range list {
+		cell := rows[i*len(schemes) : (i+1)*len(schemes)]
+		for k, r := range cell {
+			// Same contract as the local path: catalog workloads under
+			// registered schemes cannot fail, and a silently zero row
+			// would corrupt the figure.
+			if r.Err != nil {
+				panic(fmt.Sprintf("experiments: %s under %s (remote): %v", w.Name, schemes[k], r.Err))
+			}
+		}
+		base, rp, tr, pr := cell[0], cell[1], cell[2], cell[3]
+		mk := func(r RemoteRun) schemeRun {
+			return schemeRun{Speedup: r.Speedup, Traffic: r.Traffic, Coverage: r.Coverage, Accuracy: r.Accuracy}
+		}
+		rpRun := mk(rp)
+		if rp.Meta["kernels"] == 0 || rp.Meta["distance"] == 0 {
+			rpRun.Accuracy = 0 // Figure 12 footnote, as in the local path
+		}
+		c.Labels = append(c.Labels, w.Name)
+		c.RPG2 = append(c.RPG2, rpRun)
+		c.Triangel = append(c.Triangel, mk(tr))
+		c.Prophet = append(c.Prophet, mk(pr))
+		c.Notes = append(c.Notes,
+			fmt.Sprintf("%s: baseIPC=%.3f rpg2Kernels=%d rpg2Dist=%d prophetWays=%d",
+				w.Name, base.IPC, rp.Meta["kernels"], rp.Meta["distance"], pr.MetaWays))
+	}
+	return c
+}
+
 func (c comparison) series(metric func(schemeRun) float64) []textplot.Series {
 	get := func(runs []schemeRun) []float64 {
 		out := make([]float64, len(runs))
@@ -122,7 +189,11 @@ func (c comparison) series(metric func(schemeRun) float64) []textplot.Series {
 func specWorkloads(opts Options) []namedWorkload {
 	var out []namedWorkload
 	for _, w := range specSet(opts) {
-		out = append(out, namedWorkload{Name: w.Name, Factory: factoryFor(w, opts)})
+		out = append(out, namedWorkload{
+			Name:    w.Name,
+			Records: opts.records(w.Spec.Records),
+			Factory: factoryFor(w, opts),
+		})
 	}
 	return out
 }
@@ -131,7 +202,11 @@ func specWorkloads(opts Options) []namedWorkload {
 func graphWorkloads(opts Options) []namedWorkload {
 	var out []namedWorkload
 	for _, g := range graphSet(opts) {
-		out = append(out, namedWorkload{Name: g.Name, Factory: graphFactory(g, opts)})
+		out = append(out, namedWorkload{
+			Name:    g.Name,
+			Records: opts.records(graphs.DefaultRecords),
+			Factory: graphFactory(g, opts),
+		})
 	}
 	return out
 }

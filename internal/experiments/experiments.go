@@ -40,7 +40,42 @@ type Options struct {
 	// serial). Every experiment produces byte-identical output regardless
 	// of worker count: runs are pure and results are assembled by index.
 	Workers int
+	// RemoteSweep, when set, dispatches the comparison sweeps behind the
+	// default-configuration figures (F10–F12, F15) to an external backend
+	// fleet instead of the in-process evaluator. cmd/experiments wires it
+	// to a prophet.Evaluator with remote backends; the callback indirection
+	// keeps this package free of the public-API import cycle. Figures that
+	// override the pipeline configuration (F16–F18) and Quick mode (whose
+	// scaled workloads a remote catalog cannot reproduce) always run in
+	// process. Output stays byte-identical as long as the fleet simulates
+	// the default configuration.
+	RemoteSweep RemoteSweepFunc
 }
+
+// RemoteJob names one (workload, scheme) unit of a remotely dispatched
+// comparison sweep. Workload is a catalog name resolvable on the backend.
+type RemoteJob struct {
+	Workload string
+	Records  uint64
+	Scheme   string
+}
+
+// RemoteRun is one remote job's outcome, already normalized to the
+// workload's baseline exactly as the in-process comparison normalizes.
+type RemoteRun struct {
+	IPC      float64
+	Speedup  float64
+	Traffic  float64
+	Coverage float64
+	Accuracy float64
+	MetaWays int
+	Meta     map[string]int
+	Err      error
+}
+
+// RemoteSweepFunc executes jobs on a backend fleet and returns one outcome
+// per job, in job order.
+type RemoteSweepFunc func(jobs []RemoteJob) []RemoteRun
 
 // workers resolves the worker-pool width.
 func (o Options) workers() int {

@@ -189,7 +189,7 @@ func Figure8(opts Options) Result {
 
 // Figure10 is the headline SPEC speedup comparison.
 func Figure10(opts Options) Result {
-	c := runComparison(pipeline.Default(), opts, specWorkloads(opts))
+	c := runComparisonDefault(opts, specWorkloads(opts))
 	labels, series := withGeomean(c.Labels, c.series(func(r schemeRun) float64 { return r.Speedup }))
 	return Result{
 		ID:     "F10",
@@ -203,7 +203,7 @@ func Figure10(opts Options) Result {
 
 // Figure11 is the DRAM traffic comparison.
 func Figure11(opts Options) Result {
-	c := runComparison(pipeline.Default(), opts, specWorkloads(opts))
+	c := runComparisonDefault(opts, specWorkloads(opts))
 	labels, series := withGeomean(c.Labels, c.series(func(r schemeRun) float64 { return r.Traffic }))
 	return Result{
 		ID:     "F11",
@@ -216,7 +216,7 @@ func Figure11(opts Options) Result {
 
 // Figure12 reports prefetching coverage and accuracy.
 func Figure12(opts Options) Result {
-	c := runComparison(pipeline.Default(), opts, specWorkloads(opts))
+	c := runComparisonDefault(opts, specWorkloads(opts))
 	covLabels, covSeries := withGeomean(append([]string{}, c.Labels...), c.series(func(r schemeRun) float64 { return r.Coverage }))
 	accSeries := c.series(func(r schemeRun) float64 { return r.Accuracy })
 	accTable := textplot.Table{Title: "(b) Prefetching accuracy", Columns: append([]string{"workload"}, "RPG2", "Triangel", "Prophet")}
@@ -373,7 +373,7 @@ func Figure14(opts Options) Result {
 
 // Figure15 is the CRONO graph-workload comparison.
 func Figure15(opts Options) Result {
-	c := runComparison(pipeline.Default(), opts, graphWorkloads(opts))
+	c := runComparisonDefault(opts, graphWorkloads(opts))
 	labels, series := withGeomean(c.Labels, c.series(func(r schemeRun) float64 { return r.Speedup }))
 	return Result{
 		ID:     "F15",

@@ -1,0 +1,107 @@
+// Tests for POST /v1/batch, the fleet-internal bulk execution endpoint:
+// row-for-row equivalence with SweepLocal, per-job error rows, and the
+// request-level validation coordinators rely on to classify failures.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"prophet"
+)
+
+func TestBatchMatchesSweepLocal(t *testing.T) {
+	ev := prophet.New(prophet.WithWorkers(2))
+	_, ts := newTestServer(t, Config{Evaluator: ev})
+
+	body := `{"jobs":[
+		{"workload":"mcf","records":3000,"scheme":"baseline"},
+		{"workload":"mcf","records":3000,"scheme":"server-test"},
+		{"workload":"omnetpp","records":3000,"scheme":"baseline"}
+	]}`
+	code, b := post(t, ts, "/v1/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("/v1/batch: %d %s", code, b)
+	}
+	var resp prophet.BatchResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+
+	want, err := ev.SweepLocal(context.Background(),
+		prophet.Job{Workload: prophet.Workload{Name: "mcf", Records: 3000}, Scheme: "baseline"},
+		prophet.Job{Workload: prophet.Workload{Name: "mcf", Records: 3000}, Scheme: "server-test"},
+		prophet.Job{Workload: prophet.Workload{Name: "omnetpp", Records: 3000}, Scheme: "baseline"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range resp.Results {
+		if row.Error != "" {
+			t.Fatalf("row %d unexpected error %q", i, row.Error)
+		}
+		if row.Stats == nil {
+			t.Fatalf("row %d has no stats", i)
+		}
+		if !reflect.DeepEqual(*row.Stats, want[i].Stats) {
+			t.Errorf("row %d stats differ from SweepLocal:\n got %+v\nwant %+v", i, *row.Stats, want[i].Stats)
+		}
+	}
+}
+
+func TestBatchPerJobErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	code, b := post(t, ts, "/v1/batch", `{"jobs":[
+		{"workload":"no_such_workload","scheme":"baseline"},
+		{"workload":"mcf","records":2000,"scheme":"no_such_scheme"}
+	]}`)
+	if code != http.StatusOK {
+		t.Fatalf("per-job failures must not fail the batch: %d %s", code, b)
+	}
+	var resp prophet.BatchResponse
+	if err := json.Unmarshal(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(resp.Results))
+	}
+	for i, row := range resp.Results {
+		if row.Error == "" || row.Stats != nil {
+			t.Errorf("row %d: want error-only row, got stats=%v error=%q", i, row.Stats, row.Error)
+		}
+	}
+}
+
+func TestBatchRejectsEmptyAndMalformed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	if code, b := post(t, ts, "/v1/batch", `{"jobs":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d %s", code, b)
+	}
+	if code, b := post(t, ts, "/v1/batch", `{"jobz":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d %s", code, b)
+	}
+	if code, b := post(t, ts, "/v1/batch", `not json`); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d %s", code, b)
+	}
+}
+
+func TestStatsReportsDispatch(t *testing.T) {
+	ev := prophet.New(prophet.WithBackends("http://peer-a:8373", "http://peer-b:8373"))
+	_, ts := newTestServer(t, Config{Evaluator: ev})
+
+	st := stats(t, ts)
+	if len(st.Dispatch.Peers) != 2 {
+		t.Fatalf("stats peers = %v, want 2 entries", st.Dispatch.Peers)
+	}
+	if st.Dispatch.Stats != (prophet.DispatchStats{}) {
+		t.Fatalf("fresh dispatcher stats = %+v, want zeros", st.Dispatch.Stats)
+	}
+}

@@ -11,7 +11,11 @@
 //     in-flight requests onto a single simulation (singleflight);
 //   - long-running sweeps go through a bounded async job queue with
 //     lifecycle-context cancellation, so graceful shutdown drains
-//     connections and cancels work instead of abandoning it.
+//     connections and cancels work instead of abandoning it;
+//   - POST /v1/batch is the fleet-internal bulk endpoint: a coordinator
+//     (Evaluator with WithBackends, or prophetd -peers) ships a whole
+//     shard of sweep jobs in one request, executed strictly on this
+//     daemon's engine so fan-out terminates at one hop.
 //
 // Everything the engine guarantees — determinism across worker counts,
 // errors-never-panics — holds through the HTTP layer: a fixed request body
@@ -96,6 +100,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
@@ -166,6 +171,13 @@ type StatsResponse struct {
 		Total   int `json:"total"`
 	} `json:"jobs"`
 	Sessions int `json:"sessions"`
+	// Dispatch reports the sweep-sharding fleet: the configured peers and
+	// the dispatcher's remote/local/retry/failover counters (all zero when
+	// the daemon runs standalone).
+	Dispatch struct {
+		Peers []string              `json:"peers,omitempty"`
+		Stats prophet.DispatchStats `json:"stats"`
+	} `json:"dispatch"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -180,6 +192,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Jobs.Running = s.jobs.Running()
 	resp.Jobs.Total = s.jobs.Len()
 	resp.Sessions = s.sess.Len()
+	resp.Dispatch.Peers = s.ev.Backends()
+	resp.Dispatch.Stats = s.ev.DispatchStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

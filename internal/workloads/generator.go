@@ -15,6 +15,7 @@ package workloads
 
 import (
 	"fmt"
+	"math"
 
 	"prophet/internal/mem"
 )
@@ -159,11 +160,11 @@ const (
 	noiseSpanLines = 1 << 19 // 32MB of lines
 )
 
-func newStream(i int, sp PatternSpec, wlSeed uint64) *stream {
+// newStream builds the per-pattern state. sp.PCSeed is always non-zero here
+// (NewGenerator's clone expansion derives missing seeds); regionSeed is the
+// stream's collision-free region slot assigned by NewGenerator.
+func newStream(sp PatternSpec, regionSeed uint64) *stream {
 	pcSeed := sp.PCSeed
-	if pcSeed == 0 {
-		pcSeed = wlSeed*131 + uint64(i) + 1
-	}
 	seqSeed := sp.SeqSeed
 	if seqSeed == 0 {
 		seqSeed = pcSeed
@@ -171,7 +172,7 @@ func newStream(i int, sp PatternSpec, wlSeed uint64) *stream {
 	s := &stream{
 		spec:   sp,
 		pc:     pcFor(pcSeed),
-		region: regionFor(pcSeed % 4096),
+		region: regionFor(regionSeed),
 		rng:    mem.NewPRNG(seqSeed*0x9e37 + 17),
 	}
 	n := sp.SeqLines
@@ -235,6 +236,14 @@ func (s *stream) emit() (a mem.Access, serial bool) {
 	gap := sp.Gap
 	if gap > 0 {
 		gap += s.rng.Intn(3)
+	}
+	// Gap is a uint16 on the wire: clamp instead of wrapping, so an
+	// oversized spec Gap (or Gap+jitter crossing 65535) saturates rather
+	// than silently producing a tiny gap.
+	if gap > math.MaxUint16 {
+		gap = math.MaxUint16
+	} else if gap < 0 {
+		gap = 0
 	}
 	base := mem.Access{PC: s.pc, Kind: kind, Gap: uint16(gap)}
 
@@ -329,19 +338,34 @@ type Generator struct {
 	limit   uint64
 }
 
+// regionSlots is the number of distinct address regions; region assignment
+// hashes pcSeed into this space and rehashes on collision.
+const regionSlots = 4096
+
 // NewGenerator builds a deterministic trace source for spec, producing
 // records memory records (spec.Records when records == 0).
+//
+// Invalid specs panic with a descriptive message rather than silently
+// corrupting traces: a spec with no patterns, a negative/NaN/Inf weight, or
+// a zero total weight would otherwise yield NaN cumulative weights that pin
+// every record to the last stream.
 func NewGenerator(spec Spec, records uint64) *Generator {
+	if len(spec.Patterns) == 0 {
+		panic(fmt.Sprintf("workloads: spec %q has no patterns", spec.Name))
+	}
 	if records == 0 {
 		records = spec.Records
 	}
 	g := &Generator{
-		rng:     mem.NewPRNG(spec.Seed),
-		lastIdx: make([]uint64, len(spec.Patterns)),
-		limit:   records,
+		rng:   mem.NewPRNG(spec.Seed),
+		limit: records,
 	}
 	expanded := make([]PatternSpec, 0, len(spec.Patterns))
 	for i, p := range spec.Patterns {
+		if p.Weight < 0 || math.IsNaN(p.Weight) || math.IsInf(p.Weight, 0) {
+			panic(fmt.Sprintf("workloads: spec %q pattern %d (%s) has invalid weight %v",
+				spec.Name, i, p.Kind, p.Weight))
+		}
 		n := p.Clones
 		if n < 1 {
 			n = 1
@@ -360,14 +384,49 @@ func NewGenerator(spec Spec, records uint64) *Generator {
 			expanded = append(expanded, cp)
 		}
 	}
+	if len(expanded) > regionSlots {
+		panic(fmt.Sprintf("workloads: spec %q expands to %d streams, more than the %d address regions",
+			spec.Name, len(expanded), regionSlots))
+	}
 	g.lastIdx = make([]uint64, len(expanded))
 	total := 0.0
 	for _, p := range expanded {
 		total += p.Weight
 	}
+	if !(total > 0) {
+		panic(fmt.Sprintf("workloads: spec %q has zero total pattern weight", spec.Name))
+	}
+	// Region assignment: each stream wants slot pcSeed % regionSlots. Two
+	// streams whose pcSeeds differ by a multiple of regionSlots (reachable
+	// via the 7001 clone offset) would silently share an address region
+	// while keeping distinct PCs, corrupting per-stream pattern isolation.
+	// Two passes keep the fix strictly additive: every stream first claims
+	// its natural slot (first claimant wins; streams with an identical full
+	// pcSeed intentionally share PC and region), then true colliders — and
+	// only colliders — probe linearly into slots no stream naturally owns.
+	// Non-colliding streams therefore always keep their historical region,
+	// whatever their construction order, so existing catalog traces (golden
+	// fixtures) are unchanged.
+	owner := make(map[uint64]uint64, len(expanded)) // region slot -> full pcSeed
+	for _, p := range expanded {
+		if _, taken := owner[p.PCSeed%regionSlots]; !taken {
+			owner[p.PCSeed%regionSlots] = p.PCSeed
+		}
+	}
 	acc := 0.0
-	for i, p := range expanded {
-		g.streams = append(g.streams, newStream(i, p, spec.Seed))
+	for _, p := range expanded {
+		slot := p.PCSeed % regionSlots
+		if owner[slot] != p.PCSeed { // collider: probe past every claimed slot
+			for {
+				slot = (slot + 1) % regionSlots
+				o, taken := owner[slot]
+				if !taken || o == p.PCSeed {
+					break
+				}
+			}
+			owner[slot] = p.PCSeed
+		}
+		g.streams = append(g.streams, newStream(p, slot))
 		acc += p.Weight / total
 		g.cum = append(g.cum, acc)
 	}

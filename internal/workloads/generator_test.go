@@ -1,0 +1,224 @@
+// Regression tests for the generator's construction-time validation and
+// stream isolation: zero/NaN weights, empty patterns, region-collision
+// rehashing, clone seed derivation, and Gap saturation.
+package workloads
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"prophet/internal/mem"
+)
+
+// mustPanic asserts fn panics with a message containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic; want panic containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T); want string", r, r)
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not contain %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestEmptyPatternsPanics(t *testing.T) {
+	mustPanic(t, "has no patterns", func() {
+		NewGenerator(Spec{Name: "empty", Seed: 1, Records: 100}, 0)
+	})
+}
+
+func TestZeroTotalWeightPanics(t *testing.T) {
+	mustPanic(t, "zero total pattern weight", func() {
+		NewGenerator(Spec{Name: "zw", Seed: 1, Records: 100, Patterns: []PatternSpec{
+			{Kind: Temporal, Weight: 0, SeqLines: 64},
+			{Kind: RandomAccess, Weight: 0},
+		}}, 0)
+	})
+}
+
+func TestNaNWeightPanics(t *testing.T) {
+	mustPanic(t, "invalid weight", func() {
+		NewGenerator(Spec{Name: "nan", Seed: 1, Records: 100, Patterns: []PatternSpec{
+			{Kind: Temporal, Weight: math.NaN(), SeqLines: 64},
+			{Kind: RandomAccess, Weight: 1},
+		}}, 0)
+	})
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	mustPanic(t, "invalid weight", func() {
+		NewGenerator(Spec{Name: "neg", Seed: 1, Records: 100, Patterns: []PatternSpec{
+			{Kind: Temporal, Weight: -0.5, SeqLines: 64},
+			{Kind: RandomAccess, Weight: 1.5},
+		}}, 0)
+	})
+}
+
+func TestInfWeightPanics(t *testing.T) {
+	mustPanic(t, "invalid weight", func() {
+		NewGenerator(Spec{Name: "inf", Seed: 1, Records: 100, Patterns: []PatternSpec{
+			{Kind: Temporal, Weight: math.Inf(1), SeqLines: 64},
+		}}, 0)
+	})
+}
+
+// regionsByPC replays a trace and groups the 64MB-region index of every
+// non-noise line by PC. Temporal streams without noise touch only their own
+// region, so disjoint region sets prove stream isolation.
+func regionsByPC(src mem.Source) map[mem.Addr]map[mem.Line]bool {
+	out := map[mem.Addr]map[mem.Line]bool{}
+	for {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		if out[a.PC] == nil {
+			out[a.PC] = map[mem.Line]bool{}
+		}
+		out[a.PC][a.Line()>>20] = true
+	}
+	return out
+}
+
+// Streams whose pcSeeds differ by a multiple of 4096 — reachable through the
+// 7001 clone offset — must not share an address region. PCSeed 630 with
+// Clones 2 yields a clone at seed 7631; 7631 % 4096 == 3535, colliding with
+// an explicit PCSeed 3535 stream.
+func TestRegionCollisionRehashed(t *testing.T) {
+	w := spec("collide", 11,
+		PatternSpec{Kind: Temporal, Weight: 0.5, SeqLines: 128, Clones: 2, PCSeed: 630},
+		PatternSpec{Kind: Temporal, Weight: 0.5, SeqLines: 128, PCSeed: 3535},
+	)
+	regions := regionsByPC(w.Source(6000))
+	if len(regions) != 3 {
+		t.Fatalf("got %d PCs, want 3", len(regions))
+	}
+	assertDisjointRegions(t, regions)
+
+	// The direct form: two plain streams 4096 apart.
+	w2 := spec("collide2", 12,
+		PatternSpec{Kind: Temporal, Weight: 0.5, SeqLines: 128, PCSeed: 100},
+		PatternSpec{Kind: Temporal, Weight: 0.5, SeqLines: 128, PCSeed: 100 + 4096},
+	)
+	regions2 := regionsByPC(w2.Source(4000))
+	if len(regions2) != 2 {
+		t.Fatalf("got %d PCs, want 2", len(regions2))
+	}
+	assertDisjointRegions(t, regions2)
+}
+
+func assertDisjointRegions(t *testing.T, regions map[mem.Addr]map[mem.Line]bool) {
+	t.Helper()
+	seen := map[mem.Line]mem.Addr{}
+	for pc, rs := range regions {
+		for r := range rs {
+			if prev, ok := seen[r]; ok && prev != pc {
+				t.Fatalf("region %#x shared by PCs %#x and %#x", r, prev, pc)
+			}
+			seen[r] = pc
+		}
+	}
+}
+
+// Non-colliding streams must keep their historical region (pcSeed % 4096):
+// the rehash is strictly additive, so golden fixtures stay valid.
+func TestNonCollidingRegionsUnchanged(t *testing.T) {
+	w := spec("plain", 13,
+		PatternSpec{Kind: Temporal, Weight: 1, SeqLines: 64, PCSeed: 777},
+	)
+	regions := regionsByPC(w.Source(500))
+	rs := regions[pcFor(777)]
+	if len(rs) != 1 || !rs[regionFor(777)>>20] {
+		t.Fatalf("stream with PCSeed 777 left region %v, want {%#x}", rs, regionFor(777)>>20)
+	}
+}
+
+// A rehashed collider must never displace a later stream from its natural
+// slot: with pcSeeds [100, 4196, 101], the 4196 collider has to probe past
+// slot 101 (naturally owned by the third stream) rather than claim it.
+func TestColliderDoesNotDisplaceLaterStream(t *testing.T) {
+	w := spec("disp", 18,
+		PatternSpec{Kind: Temporal, Weight: 1, SeqLines: 64, PCSeed: 100},
+		PatternSpec{Kind: Temporal, Weight: 1, SeqLines: 64, PCSeed: 100 + 4096},
+		PatternSpec{Kind: Temporal, Weight: 1, SeqLines: 64, PCSeed: 101},
+	)
+	regions := regionsByPC(w.Source(6000))
+	if rs := regions[pcFor(100)]; !rs[regionFor(100)>>20] {
+		t.Fatalf("PCSeed 100 lost its natural region: %v", rs)
+	}
+	if rs := regions[pcFor(101)]; !rs[regionFor(101)>>20] {
+		t.Fatalf("PCSeed 101 displaced from its natural region by the collider: %v", rs)
+	}
+	if rs := regions[pcFor(100+4096)]; rs[regionFor(100)>>20] || rs[regionFor(101)>>20] {
+		t.Fatalf("collider landed on a naturally owned region: %v", rs)
+	}
+	assertDisjointRegions(t, regions)
+}
+
+// Clones with an explicit SeqSeed derive per-clone sequence seeds, so each
+// clone walks its own sequence over its own region.
+func TestCloneSeedDerivation(t *testing.T) {
+	w := spec("clseed", 14,
+		PatternSpec{Kind: Temporal, Weight: 1, SeqLines: 64, Clones: 2, PCSeed: 900, SeqSeed: 800},
+	)
+	recs := mem.Collect(w.Source(4000), 0)
+	byPC := map[mem.Addr][]mem.Line{}
+	for _, r := range recs {
+		byPC[r.PC] = append(byPC[r.PC], r.Line())
+	}
+	if len(byPC) != 2 {
+		t.Fatalf("got %d PCs, want 2", len(byPC))
+	}
+	if _, ok := byPC[pcFor(900)]; !ok {
+		t.Fatal("base clone PC missing")
+	}
+	if _, ok := byPC[pcFor(900+7001)]; !ok {
+		t.Fatal("derived clone PC missing (PCSeed + 7001)")
+	}
+	// The clones must not visit any common line: distinct regions.
+	assertDisjointRegions(t, regionsByPC(w.Source(4000)))
+}
+
+func TestGapClampInsteadOfWrap(t *testing.T) {
+	w := spec("bigGap", 15,
+		PatternSpec{Kind: Temporal, Weight: 1, SeqLines: 64, Gap: 70_000},
+	)
+	recs := mem.Collect(w.Source(200), 0)
+	for i, r := range recs {
+		if r.Gap != math.MaxUint16 {
+			t.Fatalf("record %d Gap = %d, want clamp to %d (uint16 wrap?)", i, r.Gap, math.MaxUint16)
+		}
+	}
+
+	neg := spec("negGap", 16,
+		PatternSpec{Kind: Temporal, Weight: 1, SeqLines: 64, Gap: -3},
+	)
+	for _, r := range mem.Collect(neg.Source(200), 0) {
+		if r.Gap != 0 {
+			t.Fatalf("negative Gap produced %d, want 0", r.Gap)
+		}
+	}
+}
+
+// A weighted mix with one zero-weight stream is fine as long as the total is
+// positive — the zero-weight stream simply never emits.
+func TestZeroWeightStreamNeverEmits(t *testing.T) {
+	w := spec("mix", 17,
+		PatternSpec{Kind: Temporal, Weight: 1, SeqLines: 64, PCSeed: 40},
+		PatternSpec{Kind: RandomAccess, Weight: 0, PCSeed: 41},
+	)
+	for _, r := range mem.Collect(w.Source(2000), 0) {
+		if r.PC == pcFor(41) {
+			t.Fatal("zero-weight stream emitted a record")
+		}
+	}
+}

@@ -10,7 +10,9 @@
 //   - Evaluator: a stateful evaluation service (New) that owns a pluggable
 //     scheme registry, a per-workload baseline cache, and a concurrent
 //     sweep engine. Run executes one (workload, scheme) pair; Sweep fans a
-//     job list out over a worker pool with deterministic, ordered results.
+//     job list out over a worker pool — or, with WithBackends, shards it
+//     across a fleet of remote prophetd daemons — with deterministic,
+//     ordered results.
 //   - Session: the stateful Figure 5 loop — Profile inputs with the
 //     simplified prefetcher, learn counters across inputs, Optimize into a
 //     Binary, and Run it on any workload, reusing the evaluator's cached
