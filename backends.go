@@ -150,6 +150,9 @@ type DispatchStats struct {
 	Retries int64 `json:"retries"`
 	// Failovers counts jobs re-run locally after a backend stayed down.
 	Failovers int64 `json:"failovers"`
+	// Cached counts jobs answered from the durable result store before
+	// dispatch (zero unless WithResultStore is configured).
+	Cached int64 `json:"cached"`
 }
 
 // shardKey is the deterministic hash input for backend assignment: the
@@ -191,5 +194,24 @@ func (e *Evaluator) newDispatcher() *dispatch.Dispatcher[Job, Result] {
 		Pin:      pinnedLocal,
 		Retries:  e.backendRetries,
 		MaxBatch: e.backendMaxBatch,
+		// The durable result store is the fleet's shared cache tier: jobs
+		// already stored skip dispatch entirely, and results computed by
+		// remote peers are persisted here, so the next sweep (or the next
+		// coordinator process on this store) reuses the whole fleet's
+		// work. The closures read e.store at call time so UseResultStore
+		// can attach the store after construction; they no-op without one.
+		CacheGet: func(j Job) (Result, bool) {
+			rep, ok := e.storeGet(j)
+			if !ok {
+				return Result{}, false
+			}
+			return Result{Job: j, Stats: rep.Stats, Meta: rep.Meta}, true
+		},
+		CachePut: func(j Job, r Result) {
+			if r.Err != nil {
+				return
+			}
+			e.storePut(j, Report{Stats: r.Stats, Meta: r.Meta})
+		},
 	})
 }

@@ -11,8 +11,19 @@
 //	prophetd                          # serve on :8373 with default engine
 //	prophetd -addr :9000 -workers 8
 //	prophetd -cache-ttl 1h -queue 128
+//	prophetd -store results.prst              # durable result store
 //	prophetd -peers http://w1:8373,http://w2:8373   # coordinate a fleet
 //	prophetd -version
+//
+// With -store the daemon keeps a durable, content-addressed result store on
+// disk under the in-memory cache: every completed evaluation is appended to
+// the store, and a restarted daemon answers repeated requests from disk
+// without simulating anything (byte-identical responses, zero engine runs).
+// The store is namespaced by an engine fingerprint — schema generation,
+// build version, and simulation options — so results from a different
+// build or configuration self-invalidate (the file is reset with a logged
+// notice). -store-max-bytes bounds the file; over the cap, the least
+// recently used entries are compacted away.
 //
 // With -peers the daemon becomes a fleet coordinator: incoming sweeps are
 // sharded across the peer daemons by workload+scheme hash (one batched
@@ -41,6 +52,7 @@ import (
 	"prophet"
 
 	"prophet/internal/cliutil"
+	"prophet/internal/resultstore"
 	"prophet/internal/server"
 )
 
@@ -57,6 +69,8 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "async job pool size")
 	queueDepth := flag.Int("queue", 64, "async job queue bound")
 	jobRetention := flag.Int("job-retention", 256, "finished jobs kept for polling before eviction")
+	storePath := flag.String("store", "", "durable result store file (empty = no disk tier)")
+	storeMax := flag.Int64("store-max-bytes", 256<<20, "result store size cap before LRU compaction (0 = unbounded)")
 	peers := flag.String("peers", "", "comma-separated peer prophetd base URLs to shard sweeps across (coordinator mode)")
 	peerRetries := flag.Int("peer-retries", 2, "batch attempts per peer before failing over to the local engine")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
@@ -84,6 +98,27 @@ func main() {
 		)
 	}
 	ev := prophet.New(evOpts...)
+	var store *resultstore.Store
+	if *storePath != "" {
+		var err error
+		store, err = resultstore.Open(*storePath, resultstore.Options{
+			Fingerprint: ev.StoreFingerprint(),
+			MaxBytes:    *storeMax,
+			// A fingerprint mismatch at startup means the stored results
+			// were computed by a different engine; keeping them would serve
+			// stale bytes, so the daemon starts over on a fresh file.
+			ResetOnMismatch: true,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("open result store: %v", err)
+		}
+		defer store.Close()
+		ss := store.Stats()
+		log.Printf("result store %s: recovered %d entries (%d bytes, %d corrupt skipped, %d resets)",
+			*storePath, ss.Entries, ss.Bytes, ss.CorruptSkipped, ss.Resets)
+		ev.UseResultStore(store)
+	}
 	srv := server.New(server.Config{
 		Evaluator:    ev,
 		CacheEntries: *cacheEntries,
@@ -91,6 +126,7 @@ func main() {
 		JobWorkers:   *jobWorkers,
 		QueueDepth:   *queueDepth,
 		JobRetention: *jobRetention,
+		Store:        store,
 	})
 	httpSrv := &http.Server{
 		Addr:    *addr,

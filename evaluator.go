@@ -29,6 +29,11 @@ type Evaluator struct {
 	backendRetries  int
 	backendMaxBatch int
 
+	// store is the optional durable result tier (WithResultStore): jobs
+	// whose results are stored are answered from disk instead of being
+	// simulated, and completed results write through.
+	store ResultStore
+
 	eng  *pipeline.Evaluator
 	disp *dispatch.Dispatcher[Job, Result]
 }
@@ -147,7 +152,7 @@ func (e *Evaluator) DispatchStats() DispatchStats {
 		return DispatchStats{}
 	}
 	st := e.disp.Stats()
-	return DispatchStats{Remote: st.Remote, Local: st.Local, Retries: st.Retries, Failovers: st.Failovers}
+	return DispatchStats{Remote: st.Remote, Local: st.Local, Retries: st.Retries, Failovers: st.Failovers, Cached: st.Cached}
 }
 
 // Workers reports the sweep pool width actually in use.
@@ -225,17 +230,23 @@ func (e *Evaluator) RunDetailed(ctx context.Context, w Workload, scheme Scheme) 
 // RunJob evaluates one sweep job synchronously — RunDetailed plus the
 // job-level knobs (TuneRecords). Single-run callers that need those knobs
 // (the prophetd evaluate endpoint) use this instead of building a
-// one-element Sweep.
+// one-element Sweep. With a durable store attached, a stored result is
+// returned without simulating, and a computed one writes through.
 func (e *Evaluator) RunJob(ctx context.Context, j Job) (Report, error) {
 	job, err := e.job(j)
 	if err != nil {
 		return Report{}, err
 	}
+	if rep, ok := e.storeGet(j); ok {
+		return rep, nil
+	}
 	out := e.eng.Run(ctx, job)
 	if out.Err != nil {
 		return Report{}, fmt.Errorf("prophet: %s under %s: %w", j.Workload.Name, j.Scheme, out.Err)
 	}
-	return Report{Stats: summarize(out.Stats, out.Base), Meta: out.Meta}, nil
+	rep := Report{Stats: summarize(out.Stats, out.Base), Meta: out.Meta}
+	e.storePut(j, rep)
+	return rep, nil
 }
 
 // Sweep fans the jobs out over the evaluator's worker pool and returns one
@@ -276,6 +287,14 @@ func (e *Evaluator) sweepLocal(ctx context.Context, jobs ...Job) ([]Result, erro
 			results[i].Err = jerr
 			continue
 		}
+		// Durable-store hits are answered without touching the engine, so
+		// a warm restart's repeat sweep runs zero simulations (not even
+		// the baselines the engine would otherwise share per workload).
+		if rep, ok := e.storeGet(j); ok {
+			results[i].Stats = rep.Stats
+			results[i].Meta = rep.Meta
+			continue
+		}
 		valid = append(valid, pj)
 		validIdx = append(validIdx, i)
 	}
@@ -289,6 +308,7 @@ func (e *Evaluator) sweepLocal(ctx context.Context, jobs ...Job) ([]Result, erro
 		}
 		results[i].Stats = summarize(out.Stats, out.Base)
 		results[i].Meta = out.Meta
+		e.storePut(jobs[i], Report{Stats: results[i].Stats, Meta: results[i].Meta})
 	}
 	return results, err
 }

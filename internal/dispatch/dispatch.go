@@ -57,6 +57,16 @@ type Config[J, R any] struct {
 	// MaxBatch caps jobs per Execute call; larger shards are split into
 	// consecutive chunks issued concurrently (0 = unlimited).
 	MaxBatch int
+	// CacheGet consults a shared result tier (e.g. a durable result store)
+	// before dispatch; a hit answers the job without touching backends or
+	// the local runner. Optional.
+	CacheGet func(J) (R, bool)
+	// CachePut records results computed by remote backends into the shared
+	// tier, so a coordinator's store accumulates the whole fleet's work.
+	// Results from the local runner are not passed through it — the local
+	// runner is the caller's own engine, which writes through on its own.
+	// Optional.
+	CachePut func(J, R)
 
 	// sleep overrides the inter-retry wait in tests.
 	sleep func(ctx context.Context, d time.Duration)
@@ -74,6 +84,8 @@ type Stats struct {
 	// Failovers counts jobs re-run locally after a backend's retries were
 	// exhausted.
 	Failovers int64
+	// Cached counts jobs answered by CacheGet without any execution.
+	Cached int64
 }
 
 // Dispatcher fans job lists out over a fixed backend ring. It is safe for
@@ -81,7 +93,7 @@ type Stats struct {
 type Dispatcher[J, R any] struct {
 	cfg Config[J, R]
 
-	remote, local, retries, failovers atomic.Int64
+	remote, local, retries, failovers, cached atomic.Int64
 }
 
 // New validates cfg and builds a Dispatcher. Local and Key are required.
@@ -111,6 +123,7 @@ func (d *Dispatcher[J, R]) Stats() Stats {
 		Local:     d.local.Load(),
 		Retries:   d.retries.Load(),
 		Failovers: d.failovers.Load(),
+		Cached:    d.cached.Load(),
 	}
 }
 
@@ -120,13 +133,33 @@ func (d *Dispatcher[J, R]) Stats() Stats {
 // fails. Cancelling ctx short-circuits retries — outstanding batches fall
 // through to the local runner, which is expected to surface the context
 // error in its per-job results.
+//
+// With CacheGet configured, every job is offered to the shared result tier
+// first: hits are merged straight into the output and only the remainder
+// is sharded, so a warm cache dispatches nothing at all.
 func (d *Dispatcher[J, R]) Dispatch(ctx context.Context, jobs []J) []R {
 	out := make([]R, len(jobs))
 	if len(jobs) == 0 {
 		return out
 	}
+	// pending lists the job indexes still needing execution; nil means all.
+	var pending []int
+	if d.cfg.CacheGet != nil {
+		pending = make([]int, 0, len(jobs))
+		for i, j := range jobs {
+			if r, ok := d.cfg.CacheGet(j); ok {
+				out[i] = r
+				continue
+			}
+			pending = append(pending, i)
+		}
+		d.cached.Add(int64(len(jobs) - len(pending)))
+		if len(pending) == 0 {
+			return out
+		}
+	}
 	if len(d.cfg.Backends) == 0 {
-		d.runLocal(ctx, jobs, nil, out)
+		d.runLocal(ctx, jobs, pending, out)
 		return out
 	}
 
@@ -135,13 +168,23 @@ func (d *Dispatcher[J, R]) Dispatch(ctx context.Context, jobs []J) []R {
 	// so each batch preserves the caller's relative ordering.
 	shards := make([][]int, len(d.cfg.Backends))
 	var pinned []int
-	for i, j := range jobs {
+	assign := func(i int) {
+		j := jobs[i]
 		if d.cfg.Pin != nil && d.cfg.Pin(j) {
 			pinned = append(pinned, i)
-			continue
+			return
 		}
 		s := int(fnv64a(d.cfg.Key(j)) % uint64(len(d.cfg.Backends)))
 		shards[s] = append(shards[s], i)
+	}
+	if pending == nil {
+		for i := range jobs {
+			assign(i)
+		}
+	} else {
+		for _, i := range pending {
+			assign(i)
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -194,6 +237,14 @@ func (d *Dispatcher[J, R]) runBatch(ctx context.Context, b Backend[J, R], jobs [
 		if err == nil {
 			d.remote.Add(int64(len(idx)))
 			scatter(out, idx, res)
+			if d.cfg.CachePut != nil {
+				// Persist remote work into the shared tier: this is how a
+				// coordinator's store accumulates results computed by the
+				// whole fleet.
+				for k, i := range idx {
+					d.cfg.CachePut(jobs[i], res[k])
+				}
+			}
 			return
 		}
 	}

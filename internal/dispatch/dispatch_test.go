@@ -336,3 +336,142 @@ func TestMissingKeyPanics(t *testing.T) {
 	}()
 	New(Config[int, string]{Local: (&localRunner{}).run})
 }
+
+// cacheOf builds CacheGet/CachePut hooks over a plain map guarded by a
+// mutex, mimicking the durable result store.
+type fakeCache struct {
+	mu   sync.Mutex
+	vals map[int]string
+	puts []int
+}
+
+func newFakeCache(seed ...int) *fakeCache {
+	c := &fakeCache{vals: map[int]string{}}
+	for _, j := range seed {
+		c.vals[j] = result(j)
+	}
+	return c
+}
+
+func (c *fakeCache) get(j int) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.vals[j]
+	return v, ok
+}
+
+func (c *fakeCache) put(j int, r string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vals[j] = r
+	c.puts = append(c.puts, j)
+}
+
+func TestCacheGetBypassesBackendsAndLocal(t *testing.T) {
+	jobs := jobsN(8)
+	cache := newFakeCache(jobs[0], jobs[3], jobs[7])
+	b := &fakeBackend{name: "b"}
+	local := &localRunner{}
+	cfg := testConfig([]Backend[int, string]{b}, local)
+	cfg.CacheGet = cache.get
+	d := New(cfg)
+
+	out := d.Dispatch(context.Background(), jobs)
+	if !reflect.DeepEqual(out, wantResults(jobs)) {
+		t.Fatalf("out = %v, want %v (cache hits merged in job order)", out, wantResults(jobs))
+	}
+	for _, j := range b.received() {
+		if _, ok := cache.get(j); ok {
+			t.Fatalf("cached job %d was dispatched to a backend", j)
+		}
+	}
+	if len(local.jobs) != 0 {
+		t.Fatalf("local ran %v despite healthy backend", local.jobs)
+	}
+	st := d.Stats()
+	if st.Cached != 3 || st.Remote != 5 {
+		t.Fatalf("stats %+v, want cached=3 remote=5", st)
+	}
+}
+
+func TestAllCachedDispatchesNothing(t *testing.T) {
+	jobs := jobsN(5)
+	cache := newFakeCache(jobs...)
+	b := &fakeBackend{name: "b"}
+	local := &localRunner{}
+	cfg := testConfig([]Backend[int, string]{b}, local)
+	cfg.CacheGet = cache.get
+	d := New(cfg)
+
+	out := d.Dispatch(context.Background(), jobs)
+	if !reflect.DeepEqual(out, wantResults(jobs)) {
+		t.Fatalf("out = %v, want %v", out, wantResults(jobs))
+	}
+	if got := b.received(); len(got) != 0 {
+		t.Fatalf("backend executed %v on a fully warm cache", got)
+	}
+	if len(local.jobs) != 0 {
+		t.Fatalf("local executed %v on a fully warm cache", local.jobs)
+	}
+	if st := d.Stats(); st.Cached != 5 || st.Remote != 0 || st.Local != 0 {
+		t.Fatalf("stats %+v, want cached=5 and no execution", st)
+	}
+}
+
+func TestCachePutRecordsRemoteResultsOnly(t *testing.T) {
+	jobs := jobsN(6)
+	cache := newFakeCache()
+	good := &fakeBackend{name: "good"}
+	bad := &fakeBackend{name: "bad", failures: 99} // fails over to local
+	local := &localRunner{}
+	cfg := testConfig([]Backend[int, string]{good, bad}, local)
+	cfg.CacheGet = cache.get
+	cfg.CachePut = cache.put
+	d := New(cfg)
+
+	out := d.Dispatch(context.Background(), jobs)
+	if !reflect.DeepEqual(out, wantResults(jobs)) {
+		t.Fatalf("out = %v, want %v", out, wantResults(jobs))
+	}
+	// Every remote-computed job is persisted, with the value the backend
+	// returned; failed-over jobs went through the local runner, whose own
+	// engine is responsible for write-through.
+	remote := good.received()
+	cache.mu.Lock()
+	puts := append([]int(nil), cache.puts...)
+	cache.mu.Unlock()
+	if len(puts) != len(remote) {
+		t.Fatalf("CachePut saw %v, want exactly the remote jobs %v", puts, remote)
+	}
+	for _, j := range remote {
+		if v, ok := cache.get(j); !ok || v != result(j) {
+			t.Fatalf("remote job %d not persisted (got %q, %v)", j, v, ok)
+		}
+	}
+	for _, j := range local.jobs {
+		for _, p := range puts {
+			if p == j {
+				t.Fatalf("failed-over job %d was double-persisted by the dispatcher", j)
+			}
+		}
+	}
+}
+
+func TestCachedPinnedJobsStillSkipExecution(t *testing.T) {
+	jobs := jobsN(4)
+	cache := newFakeCache(jobs[1]) // jobs[1] is both pinned and cached
+	b := &fakeBackend{name: "b"}
+	local := &localRunner{}
+	cfg := testConfig([]Backend[int, string]{b}, local)
+	cfg.CacheGet = cache.get
+	cfg.Pin = func(j int) bool { return j == jobs[1] }
+	d := New(cfg)
+
+	out := d.Dispatch(context.Background(), jobs)
+	if !reflect.DeepEqual(out, wantResults(jobs)) {
+		t.Fatalf("out = %v, want %v", out, wantResults(jobs))
+	}
+	if len(local.jobs) != 0 {
+		t.Fatalf("local ran %v; the only pinned job was cached", local.jobs)
+	}
+}

@@ -1,0 +1,627 @@
+// Package resultstore implements a durable, content-addressed result store:
+// the disk tier under prophetd's in-memory serving cache. It persists
+// completed evaluation results across process restarts — the serving-side
+// analogue of the paper's profile-then-reuse philosophy, where expensive
+// offline work is written down once and amortized across every later run —
+// and, mounted under a fleet coordinator, turns the whole fleet's repeat
+// traffic into O(1) disk reads instead of re-simulations.
+//
+// The format is a single append-only log file plus an in-memory index:
+//
+//	header:  magic "PRSTORE1", fingerprint length, fingerprint, CRC32
+//	record:  magic, key length, value length, CRC32(key‖value), key, value
+//
+// all little-endian. Results are immutable — a key's value is a pure
+// function of the request and the engine fingerprint — so the log needs no
+// update-in-place: Put appends, Get reads by offset, and a size cap is
+// enforced by compaction (rewrite the most recently used entries, drop the
+// rest).
+//
+// Two properties carry the correctness story:
+//
+//   - Self-invalidation: the engine fingerprint (schema generation, build
+//     version, resolved simulation options) is stamped into the header and
+//     prefixed onto every record's key. Open rejects a file written under a
+//     different fingerprint (or, with ResetOnMismatch, discards it with a
+//     logged warning), so upgrading the simulator can never serve stale
+//     bytes.
+//   - Corruption robustness: every record is CRC-checked on load and again
+//     on every Get. A truncated or bit-flipped entry is skipped with a
+//     logged warning and counted in Stats — never a crash — and a log found
+//     dirty at Open is compacted back to a clean file.
+//
+// The store is safe for concurrent use by one process. It takes no file
+// lock: two live processes must not share one store file (restarts sharing
+// a path are the intended use).
+package resultstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	// ErrFingerprintMismatch is returned by Open (unless ResetOnMismatch is
+	// set) when the store file was written by an engine with a different
+	// fingerprint: its results describe a different simulator.
+	ErrFingerprintMismatch = errors.New("resultstore: engine fingerprint mismatch")
+	// ErrClosed is returned by Put after Close.
+	ErrClosed = errors.New("resultstore: store is closed")
+)
+
+var headerMagic = []byte("PRSTORE1")
+
+const (
+	recMagic      = 0x9E57C0DE // marks the start of every record
+	recHeaderLen  = 16         // magic + keyLen + valLen + crc
+	maxRecordLen  = 1 << 28    // sanity bound on keyLen+valLen during recovery
+	gcKeepPercent = 90         // compaction keeps at most this % of MaxBytes
+)
+
+// keySep joins the fingerprint and the logical key into the physical record
+// key, so entries are content-addressed by (fingerprint, key) even if the
+// header check were ever bypassed. Fingerprints are printable flag/version
+// strings and never contain control bytes.
+const keySep = "\x1f"
+
+// Options configure Open.
+type Options struct {
+	// Fingerprint identifies the engine that produces (and may consume) the
+	// stored results — see prophet.StoreFingerprint. Required in spirit: an
+	// empty fingerprint still round-trips but disables staleness protection.
+	Fingerprint string
+	// MaxBytes caps the log file size; exceeding it triggers a compaction
+	// that keeps the most recently used entries within 90% of the cap.
+	// 0 means unbounded.
+	MaxBytes int64
+	// ResetOnMismatch discards a store written under a different fingerprint
+	// instead of failing Open — the daemon's behavior, where a simulator
+	// upgrade should cold-start the cache, not refuse to boot.
+	ResetOnMismatch bool
+	// Logf receives recovery and corruption warnings (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// recref locates one live record in the log.
+type recref struct {
+	off  int64  // file offset of the record header
+	n    int    // total record length (header + key + value)
+	vlen int    // value length
+	seq  uint64 // last-use ordinal for compaction (higher = more recent)
+}
+
+// Stats is a point-in-time snapshot of the store, surfaced by prophetd at
+// GET /v1/stats under "store".
+type Stats struct {
+	// Entries and Bytes describe the live log.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Hits and Misses count Get outcomes; Writes counts appended records
+	// and DupWrites the idempotent re-puts of already-stored keys.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Writes    int64 `json:"writes"`
+	DupWrites int64 `json:"dupWrites"`
+	// CorruptSkipped counts truncated or checksum-failing entries dropped
+	// during recovery or reads — each one a logged warning, never a crash.
+	CorruptSkipped int64 `json:"corruptSkipped"`
+	// Evicted and Compactions describe size-cap GC activity; Resets counts
+	// fingerprint-mismatch discards at Open.
+	Evicted     int64 `json:"evicted"`
+	Compactions int64 `json:"compactions"`
+	Resets      int64 `json:"resets"`
+}
+
+// Store is the durable result store. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu sync.Mutex
+
+	path string
+	fp   string
+	max  int64
+	logf func(string, ...any)
+
+	f     *os.File
+	size  int64
+	index map[string]recref // logical key -> live record
+	seq   uint64
+
+	hits, misses, writes, dup, corrupt, evicted, compactions, resets int64
+}
+
+// Open loads (or creates) the store at path, validating its fingerprint and
+// recovering its index. A file whose header does not parse as a result
+// store is always an error — Open never destroys a file it does not
+// recognize. A recognized store with a different fingerprint errors with
+// ErrFingerprintMismatch, or is discarded when ResetOnMismatch is set.
+func Open(path string, o Options) (*Store, error) {
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Store{
+		path:  path,
+		fp:    o.Fingerprint,
+		max:   o.MaxBytes,
+		logf:  logf,
+		index: map[string]recref{},
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("resultstore: %s: %w", path, err)
+	}
+	if len(buf) == 0 {
+		if err := s.createLocked(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	fp, hdrLen, err := parseHeader(buf)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %s: %w", path, err)
+	}
+	if fp != o.Fingerprint {
+		if !o.ResetOnMismatch {
+			return nil, fmt.Errorf("resultstore: %s: %w (store %q, engine %q)",
+				path, ErrFingerprintMismatch, fp, o.Fingerprint)
+		}
+		s.resets++
+		s.logf("resultstore: %s: engine fingerprint changed (store %q, engine %q); discarding %d bytes",
+			path, fp, o.Fingerprint, len(buf))
+		if err := s.createLocked(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
+	recs, corrupt, clean := scanRecords(buf[hdrLen:], int64(hdrLen))
+	s.corrupt += corrupt
+	if corrupt > 0 {
+		s.logf("resultstore: %s: skipped %d corrupt or truncated entries during recovery", path, corrupt)
+	}
+	// Deduplicate (last write wins) while preserving append order for seq.
+	live := dedupe(recs)
+	prefix := s.fp + keySep
+	if !clean {
+		// Heal: rewrite only the verified records so the tail is appendable
+		// again. Offsets are reassigned by the rewrite.
+		ents := make([]liveEntry, 0, len(live))
+		for i, r := range live {
+			key, ok := strings.CutPrefix(r.key, prefix)
+			if !ok {
+				s.corrupt++
+				continue
+			}
+			ents = append(ents, liveEntry{key: key, val: r.val, seq: uint64(i + 1)})
+		}
+		if err := s.rewriteLocked(ents); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %s: %w", path, err)
+	}
+	s.f = f
+	s.size = int64(len(buf))
+	for i, r := range live {
+		key, ok := strings.CutPrefix(r.key, prefix)
+		if !ok {
+			s.corrupt++
+			continue
+		}
+		s.index[key] = recref{off: r.off, n: r.n, vlen: len(r.val), seq: uint64(i + 1)}
+	}
+	s.seq = uint64(len(live))
+	return s, nil
+}
+
+// Get returns the stored value for key. Every read re-verifies the record
+// checksum; a record that fails is dropped from the index, counted, and
+// reported as a miss. The returned slice is the caller's to keep.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.index[key]
+	if !ok || s.f == nil {
+		s.misses++
+		return nil, false
+	}
+	rec := make([]byte, r.n)
+	if _, err := s.f.ReadAt(rec, r.off); err != nil {
+		s.dropCorruptLocked(key, fmt.Sprintf("read: %v", err))
+		return nil, false
+	}
+	gotKey, val, err := decodeRecord(rec)
+	if err != nil || gotKey != s.fp+keySep+key {
+		s.dropCorruptLocked(key, "checksum or key mismatch")
+		return nil, false
+	}
+	s.seq++
+	r.seq = s.seq
+	s.index[key] = r
+	s.hits++
+	return val, true
+}
+
+// dropCorruptLocked removes a record that failed verification at read time.
+func (s *Store) dropCorruptLocked(key, reason string) {
+	delete(s.index, key)
+	s.corrupt++
+	s.misses++
+	s.logf("resultstore: %s: dropping corrupt entry (%s)", s.path, reason)
+}
+
+// Put appends the value under key. Results are immutable: a key that is
+// already stored is a no-op (counted as a duplicate write), which makes
+// concurrent write-through from several cache tiers idempotent.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return ErrClosed
+	}
+	if _, ok := s.index[key]; ok {
+		s.dup++
+		return nil
+	}
+	rec := encodeRecord(s.fp+keySep+key, val)
+	if _, err := s.f.WriteAt(rec, s.size); err != nil {
+		// A partial tail is healed by the next Open; keep this process's
+		// view consistent by truncating back to the last good record.
+		_ = s.f.Truncate(s.size)
+		return fmt.Errorf("resultstore: %s: append: %w", s.path, err)
+	}
+	s.seq++
+	s.index[key] = recref{off: s.size, n: len(rec), vlen: len(val), seq: s.seq}
+	s.size += int64(len(rec))
+	s.writes++
+	if s.max > 0 && s.size > s.max {
+		if err := s.gcLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len reports the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:        len(s.index),
+		Bytes:          s.size,
+		Hits:           s.hits,
+		Misses:         s.misses,
+		Writes:         s.writes,
+		DupWrites:      s.dup,
+		CorruptSkipped: s.corrupt,
+		Evicted:        s.evicted,
+		Compactions:    s.compactions,
+		Resets:         s.resets,
+	}
+}
+
+// Sync flushes appended records to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return ErrClosed
+	}
+	return s.f.Sync()
+}
+
+// Close syncs and closes the log. Get returns misses and Put errors after
+// Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// createLocked starts an empty log: truncate and write a fresh header.
+func (s *Store) createLocked() error {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: %s: %w", s.path, err)
+	}
+	hdr := encodeHeader(s.fp)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("resultstore: %s: write header: %w", s.path, err)
+	}
+	s.f = f
+	s.size = int64(len(hdr))
+	s.index = map[string]recref{}
+	s.seq = 0
+	return nil
+}
+
+// gcLocked enforces the size cap: keep the most recently used entries that
+// fit within gcKeepPercent of MaxBytes (always at least the newest one) and
+// rewrite the log without the rest.
+func (s *Store) gcLocked() error {
+	type kv struct {
+		key string
+		ref recref
+	}
+	all := make([]kv, 0, len(s.index))
+	for k, r := range s.index {
+		all = append(all, kv{k, r})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ref.seq > all[j].ref.seq })
+	target := s.max / 100 * gcKeepPercent
+	budget := int64(len(encodeHeader(s.fp)))
+	var keep []liveEntry
+	for i, e := range all {
+		sz := int64(e.ref.n)
+		if i > 0 && budget+sz > target {
+			break
+		}
+		rec := make([]byte, e.ref.n)
+		if _, err := s.f.ReadAt(rec, e.ref.off); err != nil {
+			s.corrupt++
+			continue
+		}
+		_, val, err := decodeRecord(rec)
+		if err != nil {
+			s.corrupt++
+			continue
+		}
+		budget += sz
+		keep = append(keep, liveEntry{key: e.key, val: val, seq: e.ref.seq})
+	}
+	s.evicted += int64(len(all) - len(keep))
+	s.compactions++
+	// Rewrite oldest-first so a future recovery's last-write-wins dedupe
+	// sees the same relative order.
+	sort.Slice(keep, func(i, j int) bool { return keep[i].seq < keep[j].seq })
+	s.logf("resultstore: %s: size cap %d exceeded; compacting to %d entries", s.path, s.max, len(keep))
+	return s.rewriteLocked(keep)
+}
+
+// liveEntry is one verified record held in memory during a rewrite.
+type liveEntry struct {
+	key string // logical key (fingerprint prefix stripped)
+	val []byte
+	seq uint64
+}
+
+// rewriteLocked replaces the log with exactly the given entries, written
+// atomically (temp file + rename), and rebuilds the index. Entry seq values
+// are preserved so recency ordering survives compaction.
+func (s *Store) rewriteLocked(ents []liveEntry) error {
+	tmp := s.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("resultstore: %s: %w", tmp, err)
+	}
+	w := bufio.NewWriter(f)
+	hdr := encodeHeader(s.fp)
+	if _, err := w.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resultstore: %s: %w", tmp, err)
+	}
+	index := make(map[string]recref, len(ents))
+	off := int64(len(hdr))
+	var maxSeq uint64
+	for _, e := range ents {
+		rec := encodeRecord(s.fp+keySep+e.key, e.val)
+		if _, err := w.Write(rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("resultstore: %s: %w", tmp, err)
+		}
+		index[e.key] = recref{off: off, n: len(rec), vlen: len(e.val), seq: e.seq}
+		off += int64(len(rec))
+		if e.seq > maxSeq {
+			maxSeq = e.seq
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resultstore: %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resultstore: %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("resultstore: rename %s: %w", tmp, err)
+	}
+	if s.f != nil {
+		s.f.Close()
+	}
+	s.f = f
+	s.size = off
+	s.index = index
+	if maxSeq > s.seq {
+		s.seq = maxSeq
+	}
+	return nil
+}
+
+// --- wire format -----------------------------------------------------------
+
+// encodeHeader builds the file header for a fingerprint.
+func encodeHeader(fp string) []byte {
+	b := make([]byte, 0, len(headerMagic)+4+len(fp)+4)
+	b = append(b, headerMagic...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(fp)))
+	b = append(b, fp...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE([]byte(fp)))
+	return b
+}
+
+// parseHeader validates the header and returns the stored fingerprint and
+// header length. Any inconsistency is an error: Open must never mistake (or
+// destroy) a file that is not a result store.
+func parseHeader(buf []byte) (fp string, hdrLen int, err error) {
+	if len(buf) < len(headerMagic)+8 || !bytes.Equal(buf[:len(headerMagic)], headerMagic) {
+		return "", 0, errors.New("not a result store (bad magic)")
+	}
+	p := len(headerMagic)
+	n := int(binary.LittleEndian.Uint32(buf[p:]))
+	p += 4
+	if n < 0 || n > maxRecordLen || len(buf) < p+n+4 {
+		return "", 0, errors.New("corrupt header")
+	}
+	fp = string(buf[p : p+n])
+	p += n
+	if binary.LittleEndian.Uint32(buf[p:]) != crc32.ChecksumIEEE([]byte(fp)) {
+		return "", 0, errors.New("corrupt header (fingerprint checksum)")
+	}
+	return fp, p + 4, nil
+}
+
+// encodeRecord serializes one record.
+func encodeRecord(key string, val []byte) []byte {
+	b := make([]byte, 0, recHeaderLen+len(key)+len(val))
+	b = binary.LittleEndian.AppendUint32(b, recMagic)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(key)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(val)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(key))
+	crc.Write(val)
+	b = binary.LittleEndian.AppendUint32(b, crc.Sum32())
+	b = append(b, key...)
+	b = append(b, val...)
+	return b
+}
+
+// decodeRecord verifies and splits one complete record buffer.
+func decodeRecord(rec []byte) (key string, val []byte, err error) {
+	if len(rec) < recHeaderLen || binary.LittleEndian.Uint32(rec) != recMagic {
+		return "", nil, errors.New("bad record magic")
+	}
+	klen := int(binary.LittleEndian.Uint32(rec[4:]))
+	vlen := int(binary.LittleEndian.Uint32(rec[8:]))
+	if klen < 0 || vlen < 0 || klen+vlen > maxRecordLen || len(rec) != recHeaderLen+klen+vlen {
+		return "", nil, errors.New("bad record lengths")
+	}
+	want := binary.LittleEndian.Uint32(rec[12:])
+	body := rec[recHeaderLen:]
+	if crc32.ChecksumIEEE(body) != want {
+		return "", nil, errors.New("record checksum mismatch")
+	}
+	return string(body[:klen]), append([]byte(nil), body[klen:]...), nil
+}
+
+// scanned is one record found during recovery; val aliases the scan buffer.
+type scanned struct {
+	key string
+	val []byte
+	off int64 // absolute file offset
+	n   int
+}
+
+// scanRecords walks the record region of the log. It tolerates arbitrary
+// damage: a record whose magic, lengths, or checksum do not verify is
+// counted and skipped, resynchronizing on the next record magic; a
+// truncated tail is counted and dropped. clean reports whether the whole
+// region parsed without damage (a dirty log is rewritten by the caller).
+func scanRecords(body []byte, base int64) (recs []scanned, corrupt int64, clean bool) {
+	clean = true
+	magic := binary.LittleEndian.AppendUint32(nil, recMagic)
+	resync := func(from int) int {
+		j := bytes.Index(body[from:], magic)
+		if j < 0 {
+			return -1
+		}
+		return from + j
+	}
+	i := 0
+	for i < len(body) {
+		if len(body)-i < recHeaderLen {
+			corrupt++
+			clean = false
+			break
+		}
+		if binary.LittleEndian.Uint32(body[i:]) != recMagic {
+			corrupt++
+			clean = false
+			if i = resync(i + 1); i < 0 {
+				break
+			}
+			continue
+		}
+		klen := int(binary.LittleEndian.Uint32(body[i+4:]))
+		vlen := int(binary.LittleEndian.Uint32(body[i+8:]))
+		if klen < 0 || vlen < 0 || klen+vlen > maxRecordLen || i+recHeaderLen+klen+vlen > len(body) {
+			corrupt++
+			clean = false
+			if i = resync(i + 1); i < 0 {
+				break
+			}
+			continue
+		}
+		n := recHeaderLen + klen + vlen
+		rec := body[i : i+n]
+		want := binary.LittleEndian.Uint32(rec[12:])
+		if crc32.ChecksumIEEE(rec[recHeaderLen:]) != want {
+			corrupt++
+			clean = false
+			i += n
+			continue
+		}
+		recs = append(recs, scanned{
+			key: string(rec[recHeaderLen : recHeaderLen+klen]),
+			val: rec[recHeaderLen+klen:],
+			off: base + int64(i),
+			n:   n,
+		})
+		i += n
+	}
+	return recs, corrupt, clean
+}
+
+// dedupe keeps the last occurrence of every key, preserving append order.
+func dedupe(recs []scanned) []scanned {
+	last := make(map[string]int, len(recs))
+	for i, r := range recs {
+		last[r.key] = i
+	}
+	out := recs[:0]
+	for i, r := range recs {
+		if last[r.key] == i {
+			out = append(out, r)
+		}
+	}
+	return out
+}

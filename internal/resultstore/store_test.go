@@ -1,0 +1,367 @@
+package resultstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, path string, o Options) *Store {
+	t.Helper()
+	s, err := Open(path, o)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestColdVsWarmOpenByteIdentity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.prst")
+	o := Options{Fingerprint: "fp1"}
+	vals := map[string][]byte{
+		"a": []byte(`{"stats":1}`),
+		"b": []byte(`{"stats":2}`),
+		"c": bytes.Repeat([]byte{0, 1, 2, 0xff}, 100),
+	}
+
+	s := openT(t, path, o)
+	for k, v := range vals {
+		if err := s.Put(k, v); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	cold := map[string][]byte{}
+	for k := range vals {
+		v, ok := s.Get(k)
+		if !ok {
+			t.Fatalf("cold Get(%s) missed", k)
+		}
+		cold[k] = v
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w := openT(t, path, o)
+	if w.Len() != len(vals) {
+		t.Fatalf("warm open recovered %d entries, want %d", w.Len(), len(vals))
+	}
+	for k, v := range vals {
+		got, ok := w.Get(k)
+		if !ok {
+			t.Fatalf("warm Get(%s) missed", k)
+		}
+		if !bytes.Equal(got, v) || !bytes.Equal(got, cold[k]) {
+			t.Fatalf("warm Get(%s) = %q, want byte-identical to stored %q", k, got, v)
+		}
+	}
+	st := w.Stats()
+	if st.CorruptSkipped != 0 || st.Resets != 0 {
+		t.Fatalf("clean warm open reported damage: %+v", st)
+	}
+}
+
+func TestPutIsIdempotent(t *testing.T) {
+	s := openT(t, filepath.Join(t.TempDir(), "s.prst"), Options{Fingerprint: "fp"})
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get("k")
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v; re-putting a stored key must be a no-op", v, ok)
+	}
+	st := s.Stats()
+	if st.Writes != 1 || st.DupWrites != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want writes=1 dupWrites=1 entries=1", st)
+	}
+}
+
+func TestFingerprintMismatchRejectsAtOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.prst")
+	s := openT(t, path, Options{Fingerprint: "engine-v1"})
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if _, err := Open(path, Options{Fingerprint: "engine-v2"}); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Fatalf("Open with changed fingerprint: err = %v, want ErrFingerprintMismatch", err)
+	}
+
+	// ResetOnMismatch discards the stale contents instead of refusing.
+	var warned bool
+	r := openT(t, path, Options{
+		Fingerprint:     "engine-v2",
+		ResetOnMismatch: true,
+		Logf:            func(string, ...any) { warned = true },
+	})
+	if r.Len() != 0 {
+		t.Fatalf("reset store still has %d entries", r.Len())
+	}
+	if _, ok := r.Get("k"); ok {
+		t.Fatal("stale entry survived a fingerprint reset")
+	}
+	if st := r.Stats(); st.Resets != 1 {
+		t.Fatalf("stats %+v, want resets=1", st)
+	}
+	if !warned {
+		t.Fatal("fingerprint reset was not logged")
+	}
+}
+
+func TestOpenRefusesForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-store.json")
+	if err := os.WriteFile(path, []byte(`{"precious":"user data"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{Fingerprint: "fp", ResetOnMismatch: true}); err == nil {
+		t.Fatal("Open accepted (and would have destroyed) a non-store file")
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != `{"precious":"user data"}` {
+		t.Fatalf("foreign file was modified: %q, %v", b, err)
+	}
+}
+
+// findRecord locates the on-disk offset of key's record by scanning the raw
+// file, so corruption tests can flip bytes surgically.
+func findRecord(t *testing.T, path, fp, key string) (off, n int) {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hdrLen, err := parseHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := fp + keySep + key
+	i := hdrLen
+	for i < len(buf) {
+		klen := int(binary.LittleEndian.Uint32(buf[i+4:]))
+		vlen := int(binary.LittleEndian.Uint32(buf[i+8:]))
+		rn := recHeaderLen + klen + vlen
+		if string(buf[i+recHeaderLen:i+recHeaderLen+klen]) == pk {
+			return i, rn
+		}
+		i += rn
+	}
+	t.Fatalf("record %q not found in %s", key, path)
+	return 0, 0
+}
+
+func TestBitFlippedEntryIsSkippedNotFatal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.prst")
+	const fp = "fp"
+	s := openT(t, path, Options{Fingerprint: fp})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Flip one bit inside k2's value bytes.
+	off, n := findRecord(t, path, fp, "k2")
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := int64(off + n - 2) // inside the value
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, pos); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b, pos); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var warnings int
+	w := openT(t, path, Options{Fingerprint: fp, Logf: func(string, ...any) { warnings++ }})
+	if w.Len() != 4 {
+		t.Fatalf("recovered %d entries, want 4 (corrupt k2 dropped)", w.Len())
+	}
+	if _, ok := w.Get("k2"); ok {
+		t.Fatal("bit-flipped entry was served")
+	}
+	for _, k := range []string{"k0", "k1", "k3", "k4"} {
+		v, ok := w.Get(k)
+		if !ok || !bytes.Equal(v, []byte("value-"+k[1:])) {
+			t.Fatalf("intact entry %s lost in recovery: %q, %v", k, v, ok)
+		}
+	}
+	st := w.Stats()
+	if st.CorruptSkipped == 0 {
+		t.Fatalf("stats %+v, want corruptSkipped > 0", st)
+	}
+	if warnings == 0 {
+		t.Fatal("corruption recovery was not logged")
+	}
+
+	// The heal rewrote a clean log: a third open sees no damage and a new
+	// Put for the lost key round-trips.
+	if err := w.Put("k2", []byte("value-2")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	h := openT(t, path, Options{Fingerprint: fp})
+	if st := h.Stats(); st.CorruptSkipped != 0 || h.Len() != 5 {
+		t.Fatalf("healed log still dirty: %+v entries=%d", st, h.Len())
+	}
+}
+
+func TestTruncatedTailIsDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.prst")
+	s := openT(t, path, Options{Fingerprint: "fp"})
+	if err := s.Put("keep", []byte("kept-value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("torn", []byte("torn-value")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half (a crash mid-append).
+	if err := os.Truncate(path, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	w := openT(t, path, Options{Fingerprint: "fp"})
+	if _, ok := w.Get("torn"); ok {
+		t.Fatal("truncated entry was served")
+	}
+	if v, ok := w.Get("keep"); !ok || string(v) != "kept-value" {
+		t.Fatalf("entry before the torn tail lost: %q, %v", v, ok)
+	}
+	if st := w.Stats(); st.CorruptSkipped == 0 {
+		t.Fatalf("stats %+v, want corruptSkipped > 0", st)
+	}
+	// Appends after the heal land on a clean tail.
+	if err := w.Put("torn", []byte("torn-value")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	h := openT(t, path, Options{Fingerprint: "fp"})
+	if v, ok := h.Get("torn"); !ok || string(v) != "torn-value" {
+		t.Fatalf("re-put after heal lost: %q, %v", v, ok)
+	}
+}
+
+func TestSizeCapCompactionKeepsRecentEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.prst")
+	const capBytes = 4096
+	s := openT(t, path, Options{Fingerprint: "fp", MaxBytes: capBytes})
+	val := bytes.Repeat([]byte("x"), 200)
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%03d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 || st.Evicted == 0 {
+		t.Fatalf("stats %+v, want compactions and evictions", st)
+	}
+	if st.Bytes > capBytes {
+		t.Fatalf("log is %d bytes, cap %d", st.Bytes, capBytes)
+	}
+	if _, ok := s.Get("k099"); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	if _, ok := s.Get("k000"); ok {
+		t.Fatal("oldest entry survived a full-pressure compaction")
+	}
+	// The compacted log recovers cleanly.
+	s.Close()
+	w := openT(t, path, Options{Fingerprint: "fp"})
+	if v, ok := w.Get("k099"); !ok || !bytes.Equal(v, val) {
+		t.Fatal("compacted log lost its newest entry across a restart")
+	}
+}
+
+func TestGetRefreshesRecencyForCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.prst")
+	s := openT(t, path, Options{Fingerprint: "fp", MaxBytes: 2048})
+	val := bytes.Repeat([]byte("y"), 100)
+	if err := s.Put("pinned", val); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, ok := s.Get("pinned"); !ok {
+			t.Fatalf("pinned entry lost at put %d", i)
+		}
+		if err := s.Put(fmt.Sprintf("f%02d", i), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get("pinned"); !ok {
+		t.Fatal("frequently-read entry was evicted before cold ones")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := openT(t, filepath.Join(t.TempDir(), "s.prst"), Options{Fingerprint: "fp"})
+	const goroutines = 8
+	const keys = 32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := fmt.Sprintf("k%d", i)
+				want := []byte(fmt.Sprintf("v%d", i))
+				if err := s.Put(k, want); err != nil {
+					t.Errorf("Put(%s): %v", k, err)
+					return
+				}
+				if v, ok := s.Get(k); !ok || !bytes.Equal(v, want) {
+					t.Errorf("Get(%s) = %q, %v", k, v, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Entries != keys {
+		t.Fatalf("entries = %d, want %d", st.Entries, keys)
+	}
+	// Exactly one disk write per key; every other Put deduplicated.
+	if st.Writes != keys || st.DupWrites != int64(keys*(goroutines-1)) {
+		t.Fatalf("stats %+v, want writes=%d dupWrites=%d", st, keys, keys*(goroutines-1))
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := openT(t, filepath.Join(t.TempDir(), "s.prst"), Options{Fingerprint: "fp"})
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k2", []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: %v, want ErrClosed", err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Get after Close served an entry")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}

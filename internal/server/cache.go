@@ -9,11 +9,14 @@ import (
 )
 
 // CacheStats is a point-in-time snapshot of the serving cache, surfaced at
-// GET /v1/stats. Hits+Misses+Coalesced equals the number of cache-routed
-// requests; Misses equals the number of simulations actually executed for
-// them (each coalesced request piggybacked on a miss in flight).
+// GET /v1/stats. Each cache-routed request lands in exactly one tier:
+// Hits+DiskHits+Misses+Coalesced equals the number of routed requests, and
+// Misses equals the number of computations actually executed for them
+// (coalesced requests piggybacked on a leader in flight — whether that
+// leader ultimately hit disk or computed, they count only as coalesced).
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
+	DiskHits  int64 `json:"diskHits"`
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
 	Expired   int64 `json:"expired"`
@@ -49,7 +52,7 @@ type resultCache struct {
 	entries map[string]*cacheEntry
 	lru     *list.List // front = most recently used; values are *cacheEntry
 
-	hits, misses, coalesced, expired, evictions int64
+	hits, diskHits, misses, coalesced, expired, evictions int64
 }
 
 func newResultCache(max int, ttl time.Duration, now func() time.Time) *resultCache {
@@ -65,12 +68,20 @@ func newResultCache(max int, ttl time.Duration, now func() time.Time) *resultCac
 	}
 }
 
-// Do returns the cached value for key, or computes it. Concurrent calls for
-// the same key run compute exactly once: the first caller computes on its
-// own goroutine, the rest block until it finishes (or their ctx is
-// cancelled) and share the result. Failed computations are not cached, so
-// the next request retries.
-func (c *resultCache) Do(ctx context.Context, key string, compute func() (any, error)) (any, error) {
+// Do returns the cached value for key, consulting tiers in order: the
+// in-memory entry, then the optional disk tier (nil disk skips it), then
+// compute. Concurrent calls for the same key resolve it exactly once: the
+// first caller becomes the leader, the rest block until it finishes (or
+// their ctx is cancelled) and share the result — the pending entry is
+// registered before the disk probe, so coalescing covers the disk window
+// too. Failed computations are not cached, so the next request retries.
+//
+// Tier accounting happens once per request, on completion: the leader
+// counts exactly one of diskHits/misses depending on where the value came
+// from, and waiters count only coalesced — a disk hit is never also a
+// miss, and waiters on a computation that later fails are not re-counted
+// anywhere else.
+func (c *resultCache) Do(ctx context.Context, key string, disk func() (any, bool), compute func() (any, error)) (any, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		if e.pending {
@@ -92,23 +103,40 @@ func (c *resultCache) Do(ctx context.Context, key string, compute func() (any, e
 		c.expired++
 		c.remove(e)
 	}
-	c.misses++
 	e := &cacheEntry{key: key, pending: true, done: make(chan struct{})}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
 	c.mu.Unlock()
 
-	val, err := func() (v any, err error) {
-		// A panicking compute must not leave waiters blocked forever.
-		defer func() {
-			if p := recover(); p != nil {
-				err = fmt.Errorf("server: compute panicked: %v", p)
-			}
+	var val any
+	var err error
+	fromDisk := false
+	if disk != nil {
+		func() {
+			// A panicking probe degrades to a recompute, exactly like a
+			// corrupt store entry; it must not leave waiters blocked.
+			defer func() { _ = recover() }()
+			val, fromDisk = disk()
 		}()
-		return compute()
-	}()
+	}
+	if !fromDisk {
+		val, err = func() (v any, err error) {
+			// A panicking compute must not leave waiters blocked forever.
+			defer func() {
+				if p := recover(); p != nil {
+					err = fmt.Errorf("server: compute panicked: %v", p)
+				}
+			}()
+			return compute()
+		}()
+	}
 
 	c.mu.Lock()
+	if fromDisk {
+		c.diskHits++
+	} else {
+		c.misses++
+	}
 	e.val, e.err = val, err
 	e.pending = false
 	if err != nil {
@@ -154,6 +182,7 @@ func (c *resultCache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	return CacheStats{
 		Hits:      c.hits,
+		DiskHits:  c.diskHits,
 		Misses:    c.misses,
 		Coalesced: c.coalesced,
 		Expired:   c.expired,

@@ -34,7 +34,7 @@ func TestCacheHitMissAndTTL(t *testing.T) {
 	c := newResultCache(8, time.Minute, clk.Now)
 	var computes atomic.Int64
 	get := func() (any, error) {
-		v, err := c.Do(context.Background(), "k", func() (any, error) {
+		v, err := c.Do(context.Background(), "k", nil, func() (any, error) {
 			computes.Add(1)
 			return 42, nil
 		})
@@ -71,20 +71,20 @@ func TestCacheLRUEviction(t *testing.T) {
 	compute := func(v int) func() (any, error) {
 		return func() (any, error) { return v, nil }
 	}
-	c.Do(ctx, "a", compute(1))
-	c.Do(ctx, "b", compute(2))
-	c.Do(ctx, "a", compute(0)) // touch a: b becomes LRU
-	c.Do(ctx, "c", compute(3)) // evicts b
+	c.Do(ctx, "a", nil, compute(1))
+	c.Do(ctx, "b", nil, compute(2))
+	c.Do(ctx, "a", nil, compute(0)) // touch a: b becomes LRU
+	c.Do(ctx, "c", nil, compute(3)) // evicts b
 	st := c.Stats()
 	if st.Entries != 2 || st.Evictions != 1 {
 		t.Fatalf("stats %+v, want entries=2 evictions=1", st)
 	}
 	var recomputed atomic.Bool
-	v, _ := c.Do(ctx, "a", func() (any, error) { recomputed.Store(true); return -1, nil })
+	v, _ := c.Do(ctx, "a", nil, func() (any, error) { recomputed.Store(true); return -1, nil })
 	if recomputed.Load() || v != 1 {
 		t.Fatalf("a was evicted (got %v, recomputed=%v); LRU should have kept it", v, recomputed.Load())
 	}
-	if _, err := c.Do(ctx, "b", func() (any, error) { return nil, errors.New("recompute b") }); err == nil {
+	if _, err := c.Do(ctx, "b", nil, func() (any, error) { return nil, errors.New("recompute b") }); err == nil {
 		t.Fatal("b survived eviction")
 	}
 }
@@ -93,10 +93,10 @@ func TestCacheErrorsNotCached(t *testing.T) {
 	c := newResultCache(8, time.Minute, nil)
 	ctx := context.Background()
 	boom := errors.New("boom")
-	if _, err := c.Do(ctx, "k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, err := c.Do(ctx, "k", nil, func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	v, err := c.Do(ctx, "k", func() (any, error) { return "ok", nil })
+	v, err := c.Do(ctx, "k", nil, func() (any, error) { return "ok", nil })
 	if err != nil || v != "ok" {
 		t.Fatalf("retry after error: v=%v err=%v", v, err)
 	}
@@ -116,7 +116,7 @@ func TestCacheCoalescing(t *testing.T) {
 	results := make([]any, waiters+1)
 	do := func(i int) {
 		defer wg.Done()
-		v, err := c.Do(context.Background(), "k", func() (any, error) {
+		v, err := c.Do(context.Background(), "k", nil, func() (any, error) {
 			computes.Add(1)
 			close(started)
 			<-release
@@ -163,7 +163,7 @@ func TestCacheCoalescedWaiterHonorsContext(t *testing.T) {
 	c := newResultCache(8, time.Minute, nil)
 	started := make(chan struct{})
 	release := make(chan struct{})
-	go c.Do(context.Background(), "k", func() (any, error) {
+	go c.Do(context.Background(), "k", nil, func() (any, error) {
 		close(started)
 		<-release
 		return 1, nil
@@ -171,8 +171,163 @@ func TestCacheCoalescedWaiterHonorsContext(t *testing.T) {
 	<-started
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := c.Do(ctx, "k", func() (any, error) { return 2, nil }); !errors.Is(err, context.Canceled) {
+	if _, err := c.Do(ctx, "k", nil, func() (any, error) { return 2, nil }); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	close(release)
+}
+
+func TestCacheDiskTierOrdering(t *testing.T) {
+	c := newResultCache(8, time.Minute, nil)
+	ctx := context.Background()
+	var computes, probes atomic.Int64
+	disk := func(v any, ok bool) func() (any, bool) {
+		return func() (any, bool) { probes.Add(1); return v, ok }
+	}
+	compute := func(v any) func() (any, error) {
+		return func() (any, error) { computes.Add(1); return v, nil }
+	}
+
+	// Disk hit: compute never runs, counted as a disk hit, not a miss.
+	if v, err := c.Do(ctx, "k", disk("from-disk", true), compute("computed")); err != nil || v != "from-disk" {
+		t.Fatalf("disk hit returned (%v, %v)", v, err)
+	}
+	if computes.Load() != 0 {
+		t.Fatal("compute ran despite a disk hit")
+	}
+	// The disk hit populated the memory tier: next request must not probe.
+	if v, _ := c.Do(ctx, "k", disk(nil, false), compute("computed")); v != "from-disk" {
+		t.Fatalf("memory tier after disk hit returned %v", v)
+	}
+	if probes.Load() != 1 {
+		t.Fatalf("disk probed %d times, want 1 (memory tier must answer first)", probes.Load())
+	}
+	// Disk miss falls through to compute.
+	if v, _ := c.Do(ctx, "k2", disk(nil, false), compute("computed")); v != "computed" {
+		t.Fatalf("disk miss returned %v", v)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.DiskHits != 1 || st.Misses != 1 || st.Coalesced != 0 {
+		t.Fatalf("stats %+v, want hits=1 diskHits=1 misses=1 coalesced=0", st)
+	}
+}
+
+func TestCacheDiskProbePanicDegradesToCompute(t *testing.T) {
+	c := newResultCache(8, time.Minute, nil)
+	v, err := c.Do(context.Background(), "k",
+		func() (any, bool) { panic("corrupt probe") },
+		func() (any, error) { return "computed", nil })
+	if err != nil || v != "computed" {
+		t.Fatalf("got (%v, %v), want computed value", v, err)
+	}
+	if st := c.Stats(); st.DiskHits != 0 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want the panicking probe counted as a plain miss", st)
+	}
+}
+
+// TestCacheDiskWindowCoalesces: requests arriving while the leader is
+// still probing the disk tier coalesce onto it — the probe runs once.
+func TestCacheDiskWindowCoalesces(t *testing.T) {
+	c := newResultCache(8, time.Minute, nil)
+	const waiters = 4
+	var probes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]any, waiters+1)
+	do := func(i int) {
+		defer wg.Done()
+		v, err := c.Do(context.Background(), "k", func() (any, bool) {
+			if probes.Add(1) == 1 {
+				close(started)
+				<-release
+			}
+			return "from-disk", true
+		}, func() (any, error) { return nil, errors.New("must not compute") })
+		if err != nil {
+			t.Error(err)
+		}
+		results[i] = v
+	}
+	wg.Add(1)
+	go do(0)
+	<-started
+	wg.Add(waiters)
+	for i := 1; i <= waiters; i++ {
+		go do(i)
+	}
+	for c.Stats().Coalesced != waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := probes.Load(); n != 1 {
+		t.Fatalf("disk probed %d times for %d concurrent requests, want 1", n, waiters+1)
+	}
+	for i, v := range results {
+		if v != "from-disk" {
+			t.Fatalf("request %d got %v, want from-disk", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.DiskHits != 1 || st.Misses != 0 || st.Coalesced != waiters {
+		t.Fatalf("stats %+v, want diskHits=1 misses=0 coalesced=%d", st, waiters)
+	}
+}
+
+// TestCacheTierAccountingOnFailure pins the accounting invariant for the
+// failure path: a failing compute with coalesced waiters costs exactly one
+// miss (the leader) and one coalesced count per waiter — waiters are never
+// re-counted into another tier, so hits+diskHits+misses+coalesced always
+// equals the number of routed requests.
+func TestCacheTierAccountingOnFailure(t *testing.T) {
+	c := newResultCache(8, time.Minute, nil)
+	const waiters = 3
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	do := func() {
+		defer wg.Done()
+		_, err := c.Do(context.Background(), "k",
+			func() (any, bool) { return nil, false }, // disk always misses
+			func() (any, error) {
+				close(started)
+				<-release
+				return nil, boom
+			})
+		if errors.Is(err, boom) {
+			failures.Add(1)
+		}
+	}
+	wg.Add(1)
+	go do()
+	<-started
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go do()
+	}
+	for c.Stats().Coalesced != waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if failures.Load() != waiters+1 {
+		t.Fatalf("%d requests saw the error, want %d", failures.Load(), waiters+1)
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.DiskHits != 0 || st.Misses != 1 || st.Coalesced != waiters {
+		t.Fatalf("stats %+v, want exactly misses=1 coalesced=%d and nothing else", st, waiters)
+	}
+	if total := st.Hits + st.DiskHits + st.Misses + st.Coalesced; total != waiters+1 {
+		t.Fatalf("tier counters sum to %d for %d requests", total, waiters+1)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("failed computation occupies the cache: %+v", st)
+	}
 }

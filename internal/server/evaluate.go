@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"fmt"
 	"net/http"
 	"strings"
 
@@ -37,12 +36,21 @@ func (r *EvaluateRequest) canonicalize() {
 	r.Scheme = strings.TrimSpace(r.Scheme)
 }
 
-// cacheKey is the canonical identity of the request for the result cache.
-// Fields are joined positionally with an unambiguous separator; workload
-// names never contain newlines.
+// job resolves the canonicalized request into an engine job.
+func (r EvaluateRequest) job() prophet.Job {
+	return prophet.Job{
+		Workload:    r.Workload.workload(),
+		Scheme:      prophet.Scheme(r.Scheme),
+		TuneRecords: r.TuneRecords,
+	}
+}
+
+// cacheKey is the canonical identity of the request for every cache tier.
+// It is prophet.StoreKey of the resolved job, so the in-memory serving
+// cache, the durable result store, and sweep dispatch all share one key
+// space — a result computed through any entry point satisfies the others.
 func (r EvaluateRequest) cacheKey() string {
-	return fmt.Sprintf("evaluate\n%s\n%d\n%s\n%d",
-		r.Workload.Name, r.Workload.Records, r.Scheme, r.TuneRecords)
+	return prophet.StoreKey(r.job())
 }
 
 // EvaluateResponse is the POST /v1/evaluate reply.
@@ -70,16 +78,34 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "scheme is required")
 		return
 	}
+	job := req.job()
+	// The disk tier sits between the in-memory cache and the engine: a
+	// stored result is decoded and shaped into the same response the
+	// compute path would produce — byte-identical, because the stored value
+	// encoding is canonical JSON of the same RunStats/Meta.
+	var disk func() (any, bool)
+	if s.store != nil {
+		disk = func() (any, bool) {
+			rep, ok := prophet.StoreLookup(s.store, job)
+			if !ok {
+				return nil, false
+			}
+			return EvaluateResponse{
+				Workload: req.Workload,
+				Scheme:   req.Scheme,
+				Stats:    rep.Stats,
+				Meta:     rep.Meta,
+			}, true
+		}
+	}
 	// The computation runs detached from this request's context: coalesced
 	// waiters share the result, and one client's disconnect must not fail
-	// the simulation for everyone who piggybacked on it.
+	// the simulation for everyone who piggybacked on it. Write-through to
+	// the store happens inside RunJob, which persists every completed
+	// result it computes.
 	computeCtx := context.WithoutCancel(r.Context())
-	v, err := s.cache.Do(r.Context(), req.cacheKey(), func() (any, error) {
-		rep, err := s.ev.RunJob(computeCtx, prophet.Job{
-			Workload:    req.Workload.workload(),
-			Scheme:      prophet.Scheme(req.Scheme),
-			TuneRecords: req.TuneRecords,
-		})
+	v, err := s.cache.Do(r.Context(), req.cacheKey(), disk, func() (any, error) {
+		rep, err := s.ev.RunJob(computeCtx, job)
 		if err != nil {
 			return nil, err
 		}

@@ -35,6 +35,7 @@ import (
 	"prophet"
 
 	"prophet/internal/mem"
+	"prophet/internal/resultstore"
 )
 
 // Config assembles a Server.
@@ -53,6 +54,11 @@ type Config struct {
 	// JobRetention bounds how many finished jobs (and their results) are
 	// kept for polling before the oldest are evicted (default 256).
 	JobRetention int
+	// Store is the durable result store layered under the in-memory cache
+	// (lookup order: memory → disk → compute). Nil runs without a disk
+	// tier. The caller owns the store's lifecycle and must also attach it
+	// to the Evaluator (UseResultStore) so computed results write through.
+	Store *resultstore.Store
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -63,6 +69,7 @@ type Config struct {
 type Server struct {
 	ev    *prophet.Evaluator
 	cache *resultCache
+	store *resultstore.Store // nil when serving without a disk tier
 	jobs  *jobStore
 	sess  *sessionStore
 	mux   *http.ServeMux
@@ -88,6 +95,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		ev:    cfg.Evaluator,
 		cache: newResultCache(cfg.CacheEntries, cfg.CacheTTL, now),
+		store: cfg.Store,
 		jobs:  newJobStore(cfg.JobWorkers, cfg.QueueDepth, cfg.JobRetention, now),
 		sess:  newSessionStore(now),
 		now:   now,
@@ -159,8 +167,23 @@ type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptimeSeconds"`
 	Workers       int     `json:"workers"`
 	// Options is the engine configuration actually being simulated.
-	Options  prophet.Options `json:"options"`
-	Cache    CacheStats      `json:"cache"`
+	Options prophet.Options `json:"options"`
+	Cache   CacheStats      `json:"cache"`
+	// Tiers summarizes where cache-routed evaluate requests were answered.
+	// Each request lands in exactly one tier, so the four counters sum to
+	// the number of routed requests: memory is an in-memory cache hit, disk
+	// a durable-store hit, coalesced a request that piggybacked on one in
+	// flight, computed an actual engine run.
+	Tiers struct {
+		Memory    int64 `json:"memory"`
+		Disk      int64 `json:"disk"`
+		Coalesced int64 `json:"coalesced"`
+		Computed  int64 `json:"computed"`
+	} `json:"tiers"`
+	// Store reports the durable result store's counters (entries, bytes,
+	// hits, corruption skips, compactions); absent when the daemon runs
+	// without -store.
+	Store    *resultstore.Stats `json:"store,omitempty"`
 	Baseline struct {
 		Hits   int64 `json:"hits"`
 		Misses int64 `json:"misses"`
@@ -187,6 +210,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Workers = s.ev.Workers()
 	resp.Options = s.ev.Options()
 	resp.Cache = s.cache.Stats()
+	resp.Tiers.Memory = resp.Cache.Hits
+	resp.Tiers.Disk = resp.Cache.DiskHits
+	resp.Tiers.Coalesced = resp.Cache.Coalesced
+	resp.Tiers.Computed = resp.Cache.Misses
+	if s.store != nil {
+		st := s.store.Stats()
+		resp.Store = &st
+	}
 	resp.Baseline.Hits, resp.Baseline.Misses = s.ev.BaselineCacheStats()
 	resp.Jobs.Depth = s.jobs.Depth()
 	resp.Jobs.Running = s.jobs.Running()
