@@ -168,8 +168,9 @@ func shardKey(j Job) string {
 }
 
 // pinnedLocal reports jobs that must not leave this process: file: traces
-// reference paths remote daemons cannot read.
-func pinnedLocal(j Job) bool { return strings.HasPrefix(j.Workload.Name, "file:") }
+// and external ingest traces (champsim:, csv:) reference paths remote
+// daemons cannot read.
+func pinnedLocal(j Job) bool { return externalPath(j.Workload.Name) != "" }
 
 // newDispatcher wires the evaluator's backend ring. Called from New after
 // the local engine exists (the dispatcher's failover closes over it).

@@ -331,4 +331,32 @@ func TestShardedSweepLiveBackends(t *testing.T) {
 	if st.Remote != int64(len(jobs)) {
 		t.Fatalf("dispatch stats %+v: want all %d jobs remote against the live fleet", st, len(jobs))
 	}
+
+	// A sweep mixing an external trace with catalog workloads: the
+	// champsim: jobs pin to the local engine (the path means nothing on a
+	// remote peer) while the catalog jobs still shard across the fleet, and
+	// the whole thing stays byte-identical to an in-process sweep. The new
+	// scheme families ride along to prove they are sweepable over the fleet.
+	ext, err := prophet.Find("champsim:testdata/sample.champsim.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := prophet.Jobs([]prophet.Workload{ext}, prophet.Triangel, "gaze", "adaptive")
+	extJobs := len(mixed)
+	mixed = append(mixed, jobs...)
+	mixedWant, err := local.Sweep(context.Background(), mixed...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2 := prophet.New(prophet.WithBackends(urls...), prophet.WithWorkers(2))
+	mixedGot, err := coord2.Sweep(context.Background(), mixed...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSweepsEqual(t, mixedGot, mixedWant)
+	st = coord2.DispatchStats()
+	if st.Local != int64(extJobs) || st.Remote != int64(len(jobs)) {
+		t.Fatalf("dispatch stats %+v: want %d external jobs pinned local and %d catalog jobs remote",
+			st, extJobs, len(jobs))
+	}
 }

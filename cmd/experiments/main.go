@@ -38,6 +38,7 @@ func main() {
 	records := flag.Uint64("records", 0, "override memory records per run (0 = workload default)")
 	workers := flag.Int("workers", 0, "worker pool per experiment (0 = all CPUs, 1 = serial; output is byte-identical either way)")
 	backends := flag.String("backends", "", "comma-separated prophetd base URLs to shard default-configuration figure sweeps across")
+	extra := flag.String("workloads", "", "comma-separated extra workloads (file:, champsim:, csv:) appended to the comparison figures")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -54,6 +55,20 @@ func main() {
 	}
 
 	opts := experiments.Options{Quick: *quick, Records: *records, Workers: *workers}
+	for _, name := range cliutil.SplitList(*extra) {
+		w, err := prophet.Find(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w = w.WithRecords(*records)
+		f, err := w.SourceFactory()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Extra = append(opts.Extra, experiments.ExtraWorkload{Name: w.Name, Records: w.Records, Factory: f})
+	}
 	if urls := cliutil.SplitList(*backends); len(urls) > 0 {
 		ev := prophet.New(prophet.WithBackends(urls...), prophet.WithWorkers(*workers))
 		opts.RemoteSweep = remoteSweep(ev)

@@ -84,6 +84,7 @@ func main() {
 		compare       = flag.String("compare", "", "previous report JSON to compare against")
 		threshold     = flag.Float64("threshold", 10, "max allowed ns/op regression percent vs -compare")
 		nsGate        = flag.Bool("ns-gate", true, "gate on ns/op (disable when the baseline comes from different hardware; allocs/op stays gated)")
+		extended      = flag.Bool("extended", false, "append the extra scheme families (gaze, adaptive) to the matrix; their cells are absent from older baselines and therefore not gated")
 		showVersion   = flag.Bool("version", false, "print version and exit")
 	)
 	testing.Init()
@@ -111,6 +112,17 @@ func main() {
 	schemes := cliutil.SplitList(*schemesFlag)
 	if len(ws) == 0 || len(schemes) == 0 {
 		fatalf("empty workload or scheme list")
+	}
+	if *extended {
+		have := map[string]bool{}
+		for _, s := range schemes {
+			have[s] = true
+		}
+		for _, s := range []string{"gaze", "adaptive"} {
+			if !have[s] {
+				schemes = append(schemes, s)
+			}
+		}
 	}
 
 	ctx := context.Background()

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "mcf", "workload name (SPEC-like or CRONO algorithm_nodes_param)")
+	workload := flag.String("workload", "mcf", "workload name (catalog, file:<path>, champsim:<path>, csv:<path>)")
 	scheme := flag.String("scheme", "prophet", "registered scheme name (see -list-schemes)")
 	records := flag.Uint64("records", 0, "memory records (0 = workload default)")
 	channels := flag.Int("channels", 1, "DRAM channels")

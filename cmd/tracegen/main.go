@@ -7,10 +7,16 @@
 //	tracegen -workload omnetpp -records 100000 -o omnetpp.trc
 //	tracegen -workload bfs_100000_16 -o bfs.trc.gz   # gzip-compressed
 //	tracegen -workload mcf -stats            # print a pattern summary only
+//	tracegen -from champsim:trace.champsim.gz -o trace.trc.gz  # convert
 //
 // A ".gz" output suffix selects gzip compression; either form round-trips
 // through the "file:<path>" workload source (cmd/simulate -workload
 // file:omnetpp.trc, or the daemon's POST /v1/evaluate).
+//
+// -from converts an external trace (any internal/ingest format:
+// "champsim:<path>" or "csv:<path>", gzip auto-detected) into the native
+// format, so third-party traces can be archived and replayed via "file:"
+// without paying conversion on every run.
 package main
 
 import (
@@ -21,11 +27,13 @@ import (
 
 	"prophet"
 
+	"prophet/internal/ingest"
 	"prophet/internal/mem"
 )
 
 func main() {
 	workload := flag.String("workload", "omnetpp", "workload name")
+	from := flag.String("from", "", "external trace to convert (e.g. champsim:<path>, csv:<path>); overrides -workload")
 	records := flag.Uint64("records", 0, "memory records (0 = workload default)")
 	out := flag.String("o", "", "output trace file; a .gz suffix gzip-compresses (required unless -stats)")
 	statsOnly := flag.Bool("stats", false, "print trace statistics instead of writing a file")
@@ -34,6 +42,11 @@ func main() {
 
 	if *version {
 		fmt.Println("tracegen", prophet.Version())
+		return
+	}
+
+	if *from != "" {
+		convert(*from, *out, *records, *statsOnly)
 		return
 	}
 
@@ -80,6 +93,54 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d records to %s\n", n, *out)
+}
+
+// convert streams an external trace through its ingest converter into the
+// native trace format (or -stats). The converter's terminal error is checked
+// after the stream drains: a truncated or corrupt input must fail the
+// conversion, never silently archive a short trace.
+func convert(from, out string, records uint64, statsOnly bool) {
+	f, path, ok := ingest.Split(from)
+	if !ok {
+		var names []string
+		for _, f := range ingest.Formats() {
+			names = append(names, f.Name+":<path>")
+		}
+		fmt.Fprintf(os.Stderr, "-from wants %s, got %q\n", strings.Join(names, " or "), from)
+		os.Exit(1)
+	}
+	r, err := ingest.OpenFile(f, path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer r.Close()
+	var src mem.Source = r
+	if records > 0 {
+		src = mem.Limit(src, records)
+	}
+	if statsOnly {
+		printStats(src)
+		if err := r.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if out == "" {
+		fmt.Fprintln(os.Stderr, "need -o <file> (or -stats)")
+		os.Exit(1)
+	}
+	n, err := mem.WriteTraceFile(out, src)
+	if err == nil {
+		err = r.Err()
+	}
+	if err != nil {
+		os.Remove(out)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("converted %d records from %s to %s\n", n, from, out)
 }
 
 func printStats(src mem.Source) {

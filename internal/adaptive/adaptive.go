@@ -1,0 +1,214 @@
+// Package adaptive implements a POWER7-style runtime-reconfiguring
+// prefetcher wrapper (Prat et al., arXiv 1501.02282): instead of committing
+// to one prefetching scheme for a whole run, it monitors phase signals over
+// fixed access windows and switches the active engine to whichever candidate
+// earned the most prefetch utility in the current phase.
+//
+// The control loop is explore/exploit. After a phase change — the windowed
+// miss rate shifting by more than Config.Delta from the rate the current
+// choice was made at — the wrapper cycles each candidate through one full
+// window, scoring it by useful-prefetch feedback minus useless evictions,
+// then exploits the highest scorer until the next shift. Ties break toward
+// the earlier candidate, windows are counted in accesses, and candidates are
+// constructed once up front, so the whole trajectory of switches is a pure
+// function of the access stream: same trace, same switches, byte-identical
+// results.
+//
+// Only the active engine observes the access stream; dormant candidates stay
+// cold until explored again, exactly like reconfiguring hardware. Prefetch
+// feedback is credited to the engine active at issue time.
+package adaptive
+
+import (
+	"prophet/internal/gaze"
+	"prophet/internal/mem"
+	"prophet/internal/temporal"
+	"prophet/internal/triage"
+	"prophet/internal/triangel"
+)
+
+// Candidate pairs a label with a fresh engine.
+type Candidate struct {
+	Name   string
+	Engine temporal.Engine
+}
+
+// Config tunes the adaptation loop.
+type Config struct {
+	// Window is the evaluation window in L2 accesses.
+	Window uint64
+	// Delta is the absolute windowed-miss-rate shift that invalidates the
+	// current choice and triggers re-exploration.
+	Delta float64
+	// Candidates are the engines to adapt over, explored in order. Nil
+	// selects DefaultCandidates.
+	Candidates []Candidate
+}
+
+// Default returns the evaluated configuration: 8K-access windows and a 10%
+// miss-rate shift threshold.
+func Default() Config {
+	return Config{Window: 8192, Delta: 0.10}
+}
+
+// DefaultCandidates returns the stock candidate set: the two temporal
+// engines plus the gaze spatial engine — deliberately diverse, so phases
+// with different locality structure have a profitable switch available.
+func DefaultCandidates() []Candidate {
+	return []Candidate{
+		{Name: "triangel", Engine: triangel.New(triangel.Default())},
+		{Name: "triage", Engine: triage.New(triage.Default())},
+		{Name: "gaze", Engine: gaze.New(gaze.Default())},
+	}
+}
+
+// phase is the controller state.
+type phase int
+
+const (
+	exploring phase = iota
+	exploiting
+)
+
+// Wrapper is the adaptive engine. Create one per run with New.
+type Wrapper struct {
+	cfg   Config
+	cands []Candidate
+
+	state  phase
+	active int // index into cands
+	scores []int64
+
+	// Window accounting.
+	windowAccesses uint64
+	windowMisses   uint64
+	refRate        float64 // miss rate the current exploit choice was made at
+	switches       int
+	windows        uint64
+}
+
+// New returns a fresh adaptive wrapper.
+func New(cfg Config) *Wrapper {
+	d := Default()
+	if cfg.Window == 0 {
+		cfg.Window = d.Window
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = d.Delta
+	}
+	cands := cfg.Candidates
+	if len(cands) == 0 {
+		cands = DefaultCandidates()
+	}
+	return &Wrapper{
+		cfg:    cfg,
+		cands:  cands,
+		state:  exploring,
+		scores: make([]int64, len(cands)),
+	}
+}
+
+var _ temporal.Engine = (*Wrapper)(nil)
+
+// Name implements temporal.Engine.
+func (w *Wrapper) Name() string { return "adaptive" }
+
+// Active returns the currently selected candidate's name (tooling and the
+// online-adaptation session surface it).
+func (w *Wrapper) Active() string { return w.cands[w.active].Name }
+
+// Switches returns how many times the active engine changed.
+func (w *Wrapper) Switches() int { return w.switches }
+
+// Windows returns how many evaluation windows have completed.
+func (w *Wrapper) Windows() uint64 { return w.windows }
+
+// MetaWays implements temporal.Engine, reporting the active engine's LLC
+// carve-out — switching engines resizes the demand-visible LLC, exactly like
+// runtime reconfiguration would.
+func (w *Wrapper) MetaWays() int { return w.cands[w.active].Engine.MetaWays() }
+
+// TableStats implements temporal.Engine, aggregating over all candidates so
+// exploration traffic is not hidden.
+func (w *Wrapper) TableStats() temporal.TableStats {
+	var total temporal.TableStats
+	for _, c := range w.cands {
+		s := c.Engine.TableStats()
+		total.Lookups += s.Lookups
+		total.Hits += s.Hits
+		total.Insertions += s.Insertions
+		total.Updates += s.Updates
+		total.Replacements += s.Replacements
+	}
+	return total
+}
+
+// PrefetchUseful implements temporal.Engine: feedback is routed to the
+// active engine and credited to its score.
+func (w *Wrapper) PrefetchUseful(trigger mem.Addr, line mem.Line) {
+	w.scores[w.active] += 2
+	w.cands[w.active].Engine.PrefetchUseful(trigger, line)
+}
+
+// PrefetchUseless implements temporal.Engine.
+func (w *Wrapper) PrefetchUseless(trigger mem.Addr, line mem.Line) {
+	w.scores[w.active]--
+	w.cands[w.active].Engine.PrefetchUseless(trigger, line)
+}
+
+// OnAccess implements temporal.Engine: delegate to the active engine, then
+// advance the adaptation clock.
+func (w *Wrapper) OnAccess(ev temporal.AccessEvent) []mem.Line {
+	lines := w.cands[w.active].Engine.OnAccess(ev)
+	w.windowAccesses++
+	if ev.Trainable() {
+		w.windowMisses++
+	}
+	if w.windowAccesses >= w.cfg.Window {
+		w.endWindow()
+	}
+	return lines
+}
+
+// endWindow closes one evaluation window and runs the controller.
+func (w *Wrapper) endWindow() {
+	rate := float64(w.windowMisses) / float64(w.windowAccesses)
+	w.windowAccesses, w.windowMisses = 0, 0
+	w.windows++
+
+	switch w.state {
+	case exploring:
+		if w.active+1 < len(w.cands) {
+			// Next candidate gets the next window.
+			w.setActive(w.active + 1)
+			return
+		}
+		// Exploration done: exploit the top scorer (earliest wins ties).
+		best := 0
+		for i, s := range w.scores {
+			if s > w.scores[best] {
+				best = i
+			}
+		}
+		w.setActive(best)
+		w.state = exploiting
+		w.refRate = rate
+	case exploiting:
+		if diff := rate - w.refRate; diff > w.cfg.Delta || diff < -w.cfg.Delta {
+			// Phase change: forget the old scores and re-explore from the
+			// first candidate.
+			for i := range w.scores {
+				w.scores[i] = 0
+			}
+			w.setActive(0)
+			w.state = exploring
+		}
+	}
+}
+
+func (w *Wrapper) setActive(i int) {
+	if i != w.active {
+		w.switches++
+	}
+	w.active = i
+}

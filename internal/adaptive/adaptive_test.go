@@ -1,0 +1,165 @@
+package adaptive
+
+import (
+	"testing"
+
+	"prophet/internal/mem"
+	"prophet/internal/temporal"
+)
+
+// stubEngine counts calls and predicts a fixed line; its id makes
+// delegation observable.
+type stubEngine struct {
+	id       int
+	accesses int
+	useful   int
+	scratch  [1]mem.Line
+}
+
+func (s *stubEngine) Name() string { return "stub" }
+func (s *stubEngine) OnAccess(ev temporal.AccessEvent) []mem.Line {
+	s.accesses++
+	s.scratch[0] = mem.Line(s.id)
+	return s.scratch[:]
+}
+func (s *stubEngine) PrefetchUseful(trigger mem.Addr, line mem.Line)  { s.useful++ }
+func (s *stubEngine) PrefetchUseless(trigger mem.Addr, line mem.Line) {}
+func (s *stubEngine) MetaWays() int                                   { return s.id }
+func (s *stubEngine) TableStats() temporal.TableStats {
+	return temporal.TableStats{Lookups: uint64(s.accesses)}
+}
+
+func stubWrapper(window uint64) (*Wrapper, []*stubEngine) {
+	stubs := []*stubEngine{{id: 1}, {id: 2}, {id: 3}}
+	w := New(Config{Window: window, Delta: 0.10, Candidates: []Candidate{
+		{Name: "a", Engine: stubs[0]},
+		{Name: "b", Engine: stubs[1]},
+		{Name: "c", Engine: stubs[2]},
+	}})
+	return w, stubs
+}
+
+func miss() temporal.AccessEvent { return temporal.AccessEvent{Line: 1, Hit: false} }
+func hit() temporal.AccessEvent  { return temporal.AccessEvent{Line: 1, Hit: true} }
+
+// TestExploreThenExploit: every candidate gets exactly one exploration
+// window, then the top scorer is exploited.
+func TestExploreThenExploit(t *testing.T) {
+	w, stubs := stubWrapper(4)
+	// Window 1: candidate a active; feedback makes b the eventual winner
+	// impossible — credit arrives while each is active, so drive scores by
+	// when PrefetchUseful is called.
+	for i := 0; i < 4; i++ {
+		w.OnAccess(hit())
+	}
+	if w.Active() != "b" {
+		t.Fatalf("after window 1 active = %q, want b (second explore window)", w.Active())
+	}
+	w.PrefetchUseful(0, 0) // +2 to b while active
+	for i := 0; i < 4; i++ {
+		w.OnAccess(hit())
+	}
+	if w.Active() != "c" {
+		t.Fatalf("after window 2 active = %q, want c", w.Active())
+	}
+	for i := 0; i < 4; i++ {
+		w.OnAccess(hit())
+	}
+	// Exploration over: b scored +2, a and c 0.
+	if w.Active() != "b" {
+		t.Fatalf("exploit phase chose %q, want b", w.Active())
+	}
+	if stubs[0].accesses != 4 || stubs[1].accesses != 4 || stubs[2].accesses != 4 {
+		t.Fatalf("exploration windows uneven: %d/%d/%d accesses",
+			stubs[0].accesses, stubs[1].accesses, stubs[2].accesses)
+	}
+	if stubs[1].useful != 1 {
+		t.Fatalf("feedback not routed to active engine: b.useful = %d", stubs[1].useful)
+	}
+	// MetaWays follows the active engine.
+	if w.MetaWays() != 2 {
+		t.Fatalf("MetaWays() = %d, want active engine's 2", w.MetaWays())
+	}
+}
+
+// TestPhaseShiftTriggersReexploration: a miss-rate swing beyond Delta resets
+// the controller into exploration.
+func TestPhaseShiftTriggersReexploration(t *testing.T) {
+	w, _ := stubWrapper(4)
+	// Three all-hit exploration windows, then an all-hit exploit window:
+	// refRate = 0.
+	for i := 0; i < 12; i++ {
+		w.OnAccess(hit())
+	}
+	if w.state != exploiting {
+		t.Fatal("not exploiting after exploration")
+	}
+	w.scores[0] = 99 // pretend "a" accumulated credit in the old phase
+	// An all-miss window shifts the rate by 1.0 > Delta.
+	for i := 0; i < 4; i++ {
+		w.OnAccess(miss())
+	}
+	if w.state != exploring {
+		t.Fatal("phase shift did not trigger re-exploration")
+	}
+	if w.Active() != "a" {
+		t.Fatalf("re-exploration starts at %q, want a", w.Active())
+	}
+	for i, s := range w.scores {
+		if s != 0 {
+			t.Fatalf("stale score survived re-exploration: scores[%d] = %d", i, s)
+		}
+	}
+	// A stable exploit phase must NOT re-explore.
+	for i := 0; i < 12; i++ {
+		w.OnAccess(miss()) // explore all three on all-miss windows
+	}
+	if w.state != exploiting {
+		t.Fatal("did not settle back into exploitation")
+	}
+	st := w.state
+	for i := 0; i < 8; i++ {
+		w.OnAccess(miss())
+	}
+	if w.state != st {
+		t.Fatal("stable miss rate re-triggered exploration")
+	}
+}
+
+// TestAggregateTableStats: exploration traffic from dormant candidates stays
+// visible in the aggregated counters.
+func TestAggregateTableStats(t *testing.T) {
+	w, _ := stubWrapper(4)
+	for i := 0; i < 12; i++ {
+		w.OnAccess(hit())
+	}
+	if got := w.TableStats().Lookups; got != 12 {
+		t.Fatalf("aggregated Lookups = %d, want 12", got)
+	}
+}
+
+// TestDefaultCandidatesRun: the stock candidate set drives real engines
+// through a short deterministic stream without panics, and identical runs
+// match.
+func TestDefaultCandidatesRun(t *testing.T) {
+	run := func() (int, uint64) {
+		w := New(Config{Window: 64})
+		for i := 0; i < 1000; i++ {
+			ev := temporal.AccessEvent{
+				PC:   mem.Addr(0x400000 + (i%7)*8),
+				Line: mem.Line(i * 3 % 512),
+				Hit:  i%3 == 0,
+			}
+			w.OnAccess(ev)
+		}
+		return w.Switches(), w.windows
+	}
+	s1, w1 := run()
+	s2, w2 := run()
+	if s1 != s2 || w1 != w2 {
+		t.Fatalf("identical runs diverged: switches %d/%d windows %d/%d", s1, s2, w1, w2)
+	}
+	if w1 != 1000/64 {
+		t.Fatalf("windows = %d, want %d", w1, 1000/64)
+	}
+}

@@ -1,0 +1,21 @@
+package adaptive
+
+import (
+	"prophet/internal/registry"
+	"prophet/internal/sim"
+)
+
+// The adaptive scheme self-registers; Meta reports the adaptation
+// trajectory so sweeps can see how often reconfiguration fired.
+func init() {
+	registry.MustRegister("adaptive", func() registry.Scheme {
+		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
+			w := New(Default())
+			st := sim.Run(ctx.Sim, w, nil, nil, nil, ctx.Factory())
+			return registry.Result{Stats: st, Meta: map[string]int{
+				"switches": w.Switches(),
+				"windows":  int(w.Windows()),
+			}}, nil
+		})
+	})
+}

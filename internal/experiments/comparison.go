@@ -51,8 +51,13 @@ var comparisonSchemes = []string{"rpg2", "triangel", "prophet"}
 // Quick mode always runs in process: its scaled-down workload specs exist
 // only locally, so a remote daemon resolving the same name would generate a
 // different trace.
+// Extra workloads ride along here and pin the figure in process: they
+// reference paths only this host can read.
 func runComparisonDefault(opts Options, list []namedWorkload) comparison {
-	if opts.RemoteSweep != nil && !opts.Quick {
+	for _, e := range opts.Extra {
+		list = append(list, namedWorkload{Name: e.Name, Records: e.Records, Factory: e.Factory})
+	}
+	if opts.RemoteSweep != nil && !opts.Quick && len(opts.Extra) == 0 {
 		return runRemoteComparison(opts, list)
 	}
 	return runComparison(pipeline.Default(), opts, list)

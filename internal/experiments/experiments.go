@@ -50,6 +50,21 @@ type Options struct {
 	// process. Output stays byte-identical as long as the fleet simulates
 	// the default configuration.
 	RemoteSweep RemoteSweepFunc
+	// Extra appends externally supplied workloads (file: replays,
+	// champsim:/csv: ingested traces) to the default-configuration
+	// comparison figures (F10–F12, F15). Extras reference local paths, so
+	// their presence forces those figures in process even under
+	// RemoteSweep.
+	Extra []ExtraWorkload
+}
+
+// ExtraWorkload is one externally supplied comparison workload: a label, an
+// effective trace length, and a factory of fresh deterministic sources
+// (prophet.Workload.SourceFactory provides one for any resolvable name).
+type ExtraWorkload struct {
+	Name    string
+	Records uint64
+	Factory func() mem.Source
 }
 
 // RemoteJob names one (workload, scheme) unit of a remotely dispatched

@@ -1,0 +1,316 @@
+// Package gaze implements a Gaze-style spatial-pattern prefetcher (Chen et
+// al., "Gaze into the Pattern", arXiv 2412.05211): footprints of 4KB regions
+// are learned in an accumulation table and replayed from a pattern history
+// table, with the paper's key idea that a region's first two offsets — the
+// trigger and the second access, an internal temporal correlation — select
+// the stored pattern far more precisely than the trigger alone.
+//
+// The reproduction is deliberately compact but keeps the two-stage shape:
+//
+//   - Stage 1, on region activation: a trigger-offset signature looks up the
+//     pattern history table and replays only maximum-confidence lines (the
+//     trigger alone is ambiguous, so only long-run-stable bits qualify).
+//   - Stage 2, on the region's second distinct access: the (trigger, second)
+//     signature selects the precise pattern and replays every bit above the
+//     confidence threshold.
+//
+// When a region's accumulation entry is evicted, its observed footprint
+// trains both signatures: footprint bits bump 2-bit saturating counters up,
+// absent bits decay them. Everything is bounded, set-associative, and
+// LRU-replaced with deterministic scans — same-input runs are
+// byte-identical, like every other engine in the repository.
+//
+// Unlike the temporal schemes, gaze keeps its metadata in dedicated SRAM
+// rather than carved-out LLC ways, so MetaWays is always 0 and the
+// demand-visible LLC stays whole.
+package gaze
+
+import (
+	"prophet/internal/mem"
+	"prophet/internal/temporal"
+)
+
+// Config sizes the prefetcher.
+type Config struct {
+	// RegionLines is the spatial region size in cache lines (64 = 4KB
+	// regions of 64B lines). Must be a power of two, at most 64 so a
+	// footprint fits one uint64.
+	RegionLines int
+	// ATEntries is the accumulation-table capacity (regions observed
+	// concurrently).
+	ATEntries int
+	// PHTSets and PHTWays shape the set-associative pattern history table.
+	PHTSets int
+	PHTWays int
+	// Threshold is the stage-2 counter value (out of counterMax=3) a
+	// footprint bit needs to be replayed.
+	Threshold uint8
+	// Degree caps prefetches issued per triggering access.
+	Degree int
+}
+
+// Default returns the evaluated configuration: 4KB regions, a 64-region
+// accumulation table, and a 256x4 pattern history table — 2-bit counters
+// over 64-bit footprints, ~9KB of pattern SRAM.
+func Default() Config {
+	return Config{
+		RegionLines: 64,
+		ATEntries:   64,
+		PHTSets:     256,
+		PHTWays:     4,
+		Threshold:   2,
+		Degree:      16,
+	}
+}
+
+// counterMax is the 2-bit saturating counter ceiling.
+const counterMax = 3
+
+// atEntry accumulates one active region's footprint.
+type atEntry struct {
+	region    uint64
+	footprint uint64
+	trigger   uint8 // first offset observed
+	second    uint8 // second distinct offset
+	hasSecond bool
+	used      bool
+	last      uint64 // LRU clock
+}
+
+// phtEntry stores one learned pattern: per-offset 2-bit confidence counters,
+// anchored at the signature's trigger offset.
+type phtEntry struct {
+	sig      uint32
+	counters [64]uint8
+	used     bool
+	last     uint64
+}
+
+// Prefetcher is the engine. Create one per run with New.
+type Prefetcher struct {
+	cfg   Config
+	mask  uint64 // RegionLines - 1
+	shift uint   // log2(RegionLines)
+
+	at    []atEntry
+	pht   [][]phtEntry
+	clock uint64
+
+	stats   temporal.TableStats
+	scratch []mem.Line
+}
+
+// New returns a fresh prefetcher. Invalid dimensions fall back to Default
+// values, so a zero Config is usable.
+func New(cfg Config) *Prefetcher {
+	d := Default()
+	if cfg.RegionLines <= 0 || cfg.RegionLines > 64 || cfg.RegionLines&(cfg.RegionLines-1) != 0 {
+		cfg.RegionLines = d.RegionLines
+	}
+	if cfg.ATEntries <= 0 {
+		cfg.ATEntries = d.ATEntries
+	}
+	if cfg.PHTSets <= 0 || cfg.PHTSets&(cfg.PHTSets-1) != 0 {
+		cfg.PHTSets = d.PHTSets
+	}
+	if cfg.PHTWays <= 0 {
+		cfg.PHTWays = d.PHTWays
+	}
+	if cfg.Threshold == 0 || cfg.Threshold > counterMax {
+		cfg.Threshold = d.Threshold
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = d.Degree
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.RegionLines {
+		shift++
+	}
+	pht := make([][]phtEntry, cfg.PHTSets)
+	for i := range pht {
+		pht[i] = make([]phtEntry, cfg.PHTWays)
+	}
+	return &Prefetcher{
+		cfg:     cfg,
+		mask:    uint64(cfg.RegionLines - 1),
+		shift:   shift,
+		at:      make([]atEntry, cfg.ATEntries),
+		pht:     pht,
+		scratch: make([]mem.Line, 0, cfg.Degree),
+	}
+}
+
+var _ temporal.Engine = (*Prefetcher)(nil)
+
+// Name implements temporal.Engine.
+func (p *Prefetcher) Name() string { return "gaze" }
+
+// MetaWays implements temporal.Engine: pattern SRAM, no LLC carve-out.
+func (p *Prefetcher) MetaWays() int { return 0 }
+
+// TableStats implements temporal.Engine, reporting pattern-history-table
+// traffic.
+func (p *Prefetcher) TableStats() temporal.TableStats { return p.stats }
+
+// PrefetchUseful implements temporal.Engine. Outcome feedback does not steer
+// this reproduction (confidence lives in the pattern counters), so it is
+// statistics-only.
+func (p *Prefetcher) PrefetchUseful(trigger mem.Addr, line mem.Line) {}
+
+// PrefetchUseless implements temporal.Engine.
+func (p *Prefetcher) PrefetchUseless(trigger mem.Addr, line mem.Line) {}
+
+// sig1 is the stage-1 signature: the trigger offset alone, tagged apart from
+// sig2's space so both patterns coexist in one table.
+func sig1(trigger uint8) uint32 { return uint32(trigger) | 1<<16 }
+
+// sig2 is the stage-2 signature: trigger and second offset — the internal
+// temporal correlation that disambiguates patterns sharing a trigger.
+func sig2(trigger, second uint8) uint32 { return uint32(trigger)<<8 | uint32(second) | 2<<16 }
+
+// OnAccess implements temporal.Engine.
+func (p *Prefetcher) OnAccess(ev temporal.AccessEvent) []mem.Line {
+	p.clock++
+	region := uint64(ev.Line) >> p.shift
+	offset := uint8(uint64(ev.Line) & p.mask)
+	p.scratch = p.scratch[:0]
+
+	if e := p.atLookup(region); e != nil {
+		e.last = p.clock
+		e.footprint |= 1 << offset
+		if !e.hasSecond && offset != e.trigger {
+			e.second = offset
+			e.hasSecond = true
+			// Stage 2: the two-offset signature selects the precise
+			// pattern; replay bits above the confidence threshold.
+			p.replay(sig2(e.trigger, e.second), region, e.footprint, p.cfg.Threshold)
+		}
+		return p.scratch
+	}
+
+	// Region activation: retire the LRU entry's footprint into the pattern
+	// table, then track the new region. Stage 1 replays only
+	// maximum-confidence bits — a lone trigger offset is ambiguous.
+	p.atInsert(region, offset)
+	p.replay(sig1(offset), region, 1<<offset, counterMax)
+	return p.scratch
+}
+
+// atLookup finds the accumulation entry for region.
+func (p *Prefetcher) atLookup(region uint64) *atEntry {
+	for i := range p.at {
+		if p.at[i].used && p.at[i].region == region {
+			return &p.at[i]
+		}
+	}
+	return nil
+}
+
+// atInsert allocates an accumulation entry for region, training the pattern
+// table with the evicted victim's footprint.
+func (p *Prefetcher) atInsert(region uint64, trigger uint8) {
+	// Free slot, else the unique LRU victim (the clock ticks every access,
+	// so timestamps never tie).
+	slot := -1
+	var lru uint64
+	for i := range p.at {
+		if !p.at[i].used {
+			slot = i
+			break
+		}
+		if slot == -1 || p.at[i].last < lru {
+			slot, lru = i, p.at[i].last
+		}
+	}
+	v := &p.at[slot]
+	if v.used {
+		p.train(v)
+	}
+	*v = atEntry{
+		region:    region,
+		footprint: 1 << trigger,
+		trigger:   trigger,
+		used:      true,
+		last:      p.clock,
+	}
+}
+
+// train commits an observed footprint into both signature spaces: set bits
+// saturate up, clear bits decay, so only stable spatial patterns reach the
+// replay thresholds.
+func (p *Prefetcher) train(e *atEntry) {
+	p.trainSig(sig1(e.trigger), e.footprint)
+	if e.hasSecond {
+		p.trainSig(sig2(e.trigger, e.second), e.footprint)
+	}
+}
+
+func (p *Prefetcher) trainSig(sig uint32, footprint uint64) {
+	set := p.pht[p.setOf(sig)]
+	for i := range set {
+		if set[i].used && set[i].sig == sig {
+			set[i].last = p.clock
+			p.updateCounters(&set[i], footprint)
+			p.stats.Updates++
+			return
+		}
+	}
+	// Allocate, evicting the set's unique LRU way.
+	slot := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].used {
+			if set[slot].used {
+				slot = i
+			}
+			continue
+		}
+		if set[slot].used && set[i].last < set[slot].last {
+			slot = i
+		}
+	}
+	if set[slot].used {
+		p.stats.Replacements++
+	}
+	set[slot] = phtEntry{sig: sig, used: true, last: p.clock}
+	p.updateCounters(&set[slot], footprint)
+	p.stats.Insertions++
+}
+
+func (p *Prefetcher) updateCounters(e *phtEntry, footprint uint64) {
+	for b := 0; b < p.cfg.RegionLines; b++ {
+		if footprint&(1<<b) != 0 {
+			if e.counters[b] < counterMax {
+				e.counters[b]++
+			}
+		} else if e.counters[b] > 0 {
+			e.counters[b]--
+		}
+	}
+}
+
+// replay appends prefetches for every stored bit at or above threshold,
+// skipping lines already touched in the live footprint, bounded by Degree.
+func (p *Prefetcher) replay(sig uint32, region, touched uint64, threshold uint8) {
+	p.stats.Lookups++
+	set := p.pht[p.setOf(sig)]
+	for i := range set {
+		if !set[i].used || set[i].sig != sig {
+			continue
+		}
+		set[i].last = p.clock
+		p.stats.Hits++
+		base := region << p.shift
+		for b := 0; b < p.cfg.RegionLines && len(p.scratch) < p.cfg.Degree; b++ {
+			if set[i].counters[b] >= threshold && touched&(1<<b) == 0 {
+				p.scratch = append(p.scratch, mem.Line(base|uint64(b)))
+			}
+		}
+		return
+	}
+}
+
+// setOf hashes a signature to its PHT set.
+func (p *Prefetcher) setOf(sig uint32) int {
+	x := uint64(sig) * 0x9E3779B97F4A7C15
+	return int((x >> 40) & uint64(p.cfg.PHTSets-1))
+}

@@ -1,0 +1,128 @@
+package gaze
+
+import (
+	"testing"
+
+	"prophet/internal/mem"
+	"prophet/internal/temporal"
+)
+
+func access(line mem.Line) temporal.AccessEvent {
+	return temporal.AccessEvent{PC: 0x400000, Line: line}
+}
+
+// touch replays a region's offsets through the prefetcher, returning every
+// line it predicted along the way.
+func touch(p *Prefetcher, region uint64, offsets ...uint64) []mem.Line {
+	var out []mem.Line
+	for _, off := range offsets {
+		out = append(out, p.OnAccess(access(mem.Line(region<<6|off)))...)
+	}
+	return out
+}
+
+// TestLearnsSpatialPattern: after observing the same footprint under the
+// same (trigger, second) correlation in several regions, activating a fresh
+// region with that correlation replays the remaining footprint.
+func TestLearnsSpatialPattern(t *testing.T) {
+	p := New(Config{ATEntries: 1}) // single AT entry: every new region trains the last
+	pattern := []uint64{3, 7, 11, 15}
+	// Train across distinct regions; the single-entry AT commits each
+	// footprint when the next region activates.
+	for r := uint64(1); r <= 8; r++ {
+		touch(p, r, pattern...)
+	}
+	got := touch(p, 100, 3, 7)
+	want := map[mem.Line]bool{mem.Line(100<<6 | 11): true, mem.Line(100<<6 | 15): true}
+	seen := map[mem.Line]bool{}
+	for _, l := range got {
+		if want[l] {
+			seen[l] = true
+		}
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("after training on %v, predictions for fresh region = %v, want to include offsets 11 and 15", pattern, got)
+	}
+}
+
+// TestSecondOffsetDisambiguates: two patterns sharing a trigger but
+// differing in their second access must replay differently — the paper's
+// central claim.
+func TestSecondOffsetDisambiguates(t *testing.T) {
+	p := New(Config{ATEntries: 1})
+	patternA := []uint64{0, 1, 2, 3}
+	patternB := []uint64{0, 32, 40, 48}
+	for r := uint64(1); r <= 10; r++ {
+		touch(p, 2*r, patternA...)
+		touch(p, 2*r+1, patternB...)
+	}
+	gotA := touch(p, 200, 0, 1)
+	for _, l := range gotA {
+		if off := uint64(l) & 63; off >= 32 {
+			t.Fatalf("pattern A replay leaked pattern B offset %d (predictions %v)", off, gotA)
+		}
+	}
+	gotB := touch(p, 201, 0, 32)
+	foundFar := false
+	for _, l := range gotB {
+		if off := uint64(l) & 63; off == 40 || off == 48 {
+			foundFar = true
+		}
+	}
+	if !foundFar {
+		t.Fatalf("pattern B replay missed its far offsets: %v", gotB)
+	}
+}
+
+// TestDeterminism: identical access sequences produce identical predictions
+// and stats.
+func TestDeterminism(t *testing.T) {
+	run := func() ([]mem.Line, temporal.TableStats) {
+		p := New(Default())
+		var all []mem.Line
+		for r := uint64(0); r < 200; r++ {
+			all = append(all, touch(p, r%37, r%64, (r*7)%64, (r*13)%64)...)
+		}
+		return all, p.TableStats()
+	}
+	l1, s1 := run()
+	l2, s2 := run()
+	if len(l1) != len(l2) || s1 != s2 {
+		t.Fatalf("two identical runs diverged: %d vs %d predictions, stats %+v vs %+v", len(l1), len(l2), s1, s2)
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("prediction %d diverged: %v vs %v", i, l1[i], l2[i])
+		}
+	}
+}
+
+// TestEngineContract: zero config is usable, MetaWays stays 0, the scratch
+// buffer is recycled, and Degree bounds predictions.
+func TestEngineContract(t *testing.T) {
+	p := New(Config{})
+	if p.MetaWays() != 0 {
+		t.Fatalf("MetaWays() = %d, want 0 (gaze uses dedicated SRAM)", p.MetaWays())
+	}
+	if p.Name() != "gaze" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+	dense := make([]uint64, 64)
+	for i := range dense {
+		dense[i] = uint64(i)
+	}
+	p2 := New(Config{ATEntries: 1, Degree: 4})
+	for r := uint64(1); r <= 6; r++ {
+		touch(p2, r, dense...)
+	}
+	got := p2.OnAccess(access(mem.Line(50 << 6)))
+	if len(got) > 4 {
+		t.Fatalf("Degree=4 but %d prefetches issued", len(got))
+	}
+	// Feedback hooks are statistics-only but must not panic.
+	p2.PrefetchUseful(0x400000, mem.Line(50<<6|1))
+	p2.PrefetchUseless(0x400000, mem.Line(50<<6|2))
+	if p2.TableStats().Lookups == 0 {
+		t.Fatal("TableStats().Lookups stayed 0 after activity")
+	}
+}

@@ -1,0 +1,17 @@
+package gaze
+
+import (
+	"prophet/internal/registry"
+	"prophet/internal/sim"
+)
+
+// The gaze scheme self-registers like every other engine: the evaluator and
+// the daemon resolve it by name.
+func init() {
+	registry.MustRegister("gaze", func() registry.Scheme {
+		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
+			st := sim.Run(ctx.Sim, New(Default()), nil, nil, nil, ctx.Factory())
+			return registry.Result{Stats: st}, nil
+		})
+	})
+}

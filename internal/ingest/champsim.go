@@ -1,0 +1,160 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"prophet/internal/mem"
+)
+
+// ChampSim input_instr records are fixed 64-byte little-endian structs:
+//
+//	ip                      uint64   // instruction pointer
+//	is_branch               uint8
+//	branch_taken            uint8
+//	destination_registers   [2]uint8
+//	source_registers        [4]uint8
+//	destination_memory      [2]uint64 // store effective addresses (0 = none)
+//	source_memory           [4]uint64 // load effective addresses (0 = none)
+//
+// One instruction therefore expands into zero or more Access records: its
+// source-memory loads first (reads happen before the write), then its
+// destination-memory stores. Instructions without memory operands become
+// the Gap of the next emitted record — the non-memory instruction count the
+// core model charges fetch/commit bandwidth for. Dep is 0 throughout:
+// ChampSim traces carry register numbers, not inter-record distances, and
+// inventing dependences would fabricate serialization the trace never
+// expressed.
+
+const (
+	champsimRecordBytes = 64
+	// champsimBlockRecords is how many instructions are decoded per refill
+	// of the reusable block buffer (mem.TraceReader's discipline).
+	champsimBlockRecords = 4096
+	// champsimMaxOps bounds the accesses one instruction can expand into:
+	// 4 source + 2 destination memory operands.
+	champsimMaxOps = 6
+)
+
+func init() {
+	MustRegister(Format{
+		Name:        "champsim",
+		Description: "ChampSim input_instr load trace (64-byte records, gzip auto-detected)",
+		Open: func(r io.Reader) (Reader, error) {
+			return &champsimReader{
+				r:     r,
+				block: make([]byte, 0, champsimBlockRecords*champsimRecordBytes),
+			}, nil
+		},
+	})
+}
+
+// champsimReader streams ChampSim instructions, expanding memory operands
+// into Access records on demand from a reusable block buffer.
+type champsimReader struct {
+	r     io.Reader
+	block []byte // whole 64-byte records only
+	pos   int    // consumed bytes within block
+	eof   bool
+	err   error
+
+	// pending holds the current instruction's not-yet-delivered accesses.
+	pending    [champsimMaxOps]mem.Access
+	pendingN   int
+	pendingPos int
+
+	gap uint64 // non-memory instructions since the last emitted access
+}
+
+// Err implements Reader.
+func (c *champsimReader) Err() error { return c.err }
+
+// Next implements mem.Source.
+func (c *champsimReader) Next() (mem.Access, bool) {
+	for {
+		if c.pendingPos < c.pendingN {
+			a := c.pending[c.pendingPos]
+			c.pendingPos++
+			return a, true
+		}
+		if c.err != nil {
+			return mem.Access{}, false
+		}
+		if c.pos >= len(c.block) {
+			if !c.refill() {
+				return mem.Access{}, false
+			}
+		}
+		c.decode(c.block[c.pos : c.pos+champsimRecordBytes])
+		c.pos += champsimRecordBytes
+	}
+}
+
+// decode expands one instruction into pending accesses (possibly none).
+func (c *champsimReader) decode(b []byte) {
+	ip := mem.Addr(le64(b[0:]))
+	c.pendingN, c.pendingPos = 0, 0
+	// Loads (source_memory) first, then stores (destination_memory).
+	for i := 0; i < 4; i++ {
+		if addr := le64(b[32+8*i:]); addr != 0 {
+			c.emit(ip, mem.Addr(addr), mem.Load)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if addr := le64(b[16+8*i:]); addr != 0 {
+			c.emit(ip, mem.Addr(addr), mem.Store)
+		}
+	}
+	if c.pendingN == 0 {
+		c.gap++ // a pure non-memory instruction feeds the next record's Gap
+	}
+}
+
+// emit queues one access; the instruction's first access carries the
+// accumulated non-memory gap (clamped to the field's range, like the
+// workload generator's stream.emit).
+func (c *champsimReader) emit(pc, addr mem.Addr, kind mem.Kind) {
+	gap := uint16(0)
+	if c.pendingN == 0 {
+		g := c.gap
+		if g > 0xFFFF {
+			g = 0xFFFF
+		}
+		gap = uint16(g)
+		c.gap = 0
+	}
+	c.pending[c.pendingN] = mem.Access{PC: pc, Addr: addr, Kind: kind, Gap: gap}
+	c.pendingN++
+}
+
+// refill reads the next block of whole instructions. A trailing partial
+// record is a truncation error, not a silent short stream.
+func (c *champsimReader) refill() bool {
+	if c.eof {
+		return false
+	}
+	buf := c.block[:cap(c.block)]
+	n, err := io.ReadFull(c.r, buf)
+	switch err {
+	case nil:
+	case io.EOF:
+		c.eof = true
+		return false
+	case io.ErrUnexpectedEOF:
+		c.eof = true
+		if n%champsimRecordBytes != 0 {
+			c.err = fmt.Errorf("%w: champsim: truncated instruction (%d trailing bytes)",
+				ErrBadTrace, n%champsimRecordBytes)
+			return false
+		}
+	default:
+		c.err = fmt.Errorf("%w: champsim: %v", ErrBadTrace, err)
+		return false
+	}
+	c.block = buf[:n-n%champsimRecordBytes]
+	c.pos = 0
+	return len(c.block) > 0
+}
+
+func le64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }

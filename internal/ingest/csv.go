@@ -1,0 +1,127 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"prophet/internal/mem"
+)
+
+// The CSV access-log format is the lowest-friction ingestion path: one
+// access per line,
+//
+//	pc,addr[,kind[,dep[,gap]]]
+//
+// with pc/addr in decimal or 0x-prefixed hex, kind one of load/l/0 or
+// store/s/1 (default load), dep a uint32 record distance and gap a uint16
+// non-memory instruction count. Blank lines and #-comments are skipped, and
+// one optional header line naming the columns ("pc,addr,...") is tolerated
+// so exported spreadsheets ingest unmodified. Anything else — missing
+// fields, unparsable numbers, out-of-range counts — is an ErrBadTrace with
+// its line number, never a silently dropped record.
+
+// csvMaxLine bounds one line; access logs with longer lines are corrupt.
+const csvMaxLine = 1 << 16
+
+func init() {
+	MustRegister(Format{
+		Name:        "csv",
+		Description: "CSV access log: pc,addr[,kind[,dep[,gap]]] per line (gzip auto-detected)",
+		Open: func(r io.Reader) (Reader, error) {
+			sc := bufio.NewScanner(r)
+			sc.Buffer(make([]byte, 0, 4096), csvMaxLine)
+			return &csvReader{sc: sc}, nil
+		},
+	})
+}
+
+// csvReader streams one parsed access per non-empty line.
+type csvReader struct {
+	sc   *bufio.Scanner
+	line int
+	// seen reports that a line was already parsed (or skipped as the
+	// header), so the one-header tolerance applies only to the first
+	// non-blank, non-comment line.
+	seen bool
+	err  error
+}
+
+// Err implements Reader.
+func (c *csvReader) Err() error { return c.err }
+
+// Next implements mem.Source.
+func (c *csvReader) Next() (mem.Access, bool) {
+	if c.err != nil {
+		return mem.Access{}, false
+	}
+	for c.sc.Scan() {
+		c.line++
+		text := strings.TrimSpace(c.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		a, err := c.parse(text)
+		if err != nil {
+			// One unparsable leading line is tolerated as the header
+			// ("pc,addr,kind"); any later failure is a real error.
+			if !c.seen {
+				c.seen = true
+				continue
+			}
+			c.err = err
+			return mem.Access{}, false
+		}
+		c.seen = true
+		return a, true
+	}
+	if err := c.sc.Err(); err != nil {
+		c.err = fmt.Errorf("%w: csv: %v", ErrBadTrace, err)
+	}
+	return mem.Access{}, false
+}
+
+// parse decodes one data line.
+func (c *csvReader) parse(text string) (mem.Access, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) < 2 || len(fields) > 5 {
+		return mem.Access{}, fmt.Errorf("%w: csv line %d: want 2-5 fields, got %d",
+			ErrBadTrace, c.line, len(fields))
+	}
+	pc, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 0, 64)
+	if err != nil {
+		return mem.Access{}, fmt.Errorf("%w: csv line %d: bad pc %q", ErrBadTrace, c.line, fields[0])
+	}
+	addr, err := strconv.ParseUint(strings.TrimSpace(fields[1]), 0, 64)
+	if err != nil {
+		return mem.Access{}, fmt.Errorf("%w: csv line %d: bad addr %q", ErrBadTrace, c.line, fields[1])
+	}
+	a := mem.Access{PC: mem.Addr(pc), Addr: mem.Addr(addr)}
+	if len(fields) > 2 {
+		switch k := strings.ToLower(strings.TrimSpace(fields[2])); k {
+		case "", "l", "load", "0":
+			a.Kind = mem.Load
+		case "s", "store", "1":
+			a.Kind = mem.Store
+		default:
+			return mem.Access{}, fmt.Errorf("%w: csv line %d: bad kind %q", ErrBadTrace, c.line, fields[2])
+		}
+	}
+	if len(fields) > 3 {
+		dep, err := strconv.ParseUint(strings.TrimSpace(fields[3]), 0, 32)
+		if err != nil {
+			return mem.Access{}, fmt.Errorf("%w: csv line %d: bad dep %q", ErrBadTrace, c.line, fields[3])
+		}
+		a.Dep = uint32(dep)
+	}
+	if len(fields) > 4 {
+		gap, err := strconv.ParseUint(strings.TrimSpace(fields[4]), 0, 16)
+		if err != nil {
+			return mem.Access{}, fmt.Errorf("%w: csv line %d: bad gap %q", ErrBadTrace, c.line, fields[4])
+		}
+		a.Gap = uint16(gap)
+	}
+	return a, nil
+}

@@ -1,0 +1,74 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// fuzzDrain pulls every record out of a converter over arbitrary bytes and
+// checks the Reader contract: no panic, every failure is ErrBadTrace-classed
+// (or a clean EOF), and the stream stays dead once it ends.
+func fuzzDrain(t *testing.T, r Reader) int {
+	t.Helper()
+	n := 0
+	for {
+		_, ok := r.Next()
+		if !ok {
+			break
+		}
+		n++
+		if n > 1<<22 {
+			t.Fatal("converter yielded absurdly many records for a small input")
+		}
+	}
+	if err := r.Err(); err != nil && !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("Err() = %v, not classified under ErrBadTrace", err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next() succeeded after stream end")
+	}
+	return n
+}
+
+func FuzzChampSim(f *testing.F) {
+	f.Add(sampleChampSim())
+	f.Add(sampleChampSim()[:70])             // truncated mid-record
+	f.Add(make([]byte, champsimRecordBytes)) // all-zero instruction
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fmtc, _ := Lookup("champsim")
+		r, err := fmtc.Open(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := fuzzDrain(t, r)
+		if r.Err() == nil {
+			// A clean stream must account for every whole record: no more
+			// accesses than memory-operand slots in the input.
+			if max := (len(data) / champsimRecordBytes) * champsimMaxOps; n > max {
+				t.Fatalf("%d accesses from %d bytes (max %d)", n, len(data), max)
+			}
+			if len(data)%champsimRecordBytes != 0 {
+				t.Fatalf("partial record (%d bytes) not reported", len(data)%champsimRecordBytes)
+			}
+		}
+	})
+}
+
+func FuzzCSV(f *testing.F) {
+	f.Add("pc,addr\n0x1,0x2\n")
+	f.Add("# comment\n\n1,2,store,3,4\n")
+	f.Add("1,2,load,99999999999999999999\n")
+	f.Add(strings.Repeat("a", csvMaxLine+1))
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		fmtc, _ := Lookup("csv")
+		r, err := fmtc.Open(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		fuzzDrain(t, r)
+	})
+}

@@ -1,0 +1,191 @@
+// Package ingest converts external trace formats into the simulator's
+// native mem.Access stream. It is the front door for third-party workloads:
+// a pluggable registry of streaming format converters (ChampSim-style load
+// traces, generic CSV access logs), each decoding block-buffered records on
+// demand — the same zero-materialization discipline as mem.TraceReader —
+// so a multi-gigabyte external trace replays in O(block) memory.
+//
+// Formats self-register in their init functions under a short name that
+// doubles as the public workload-source prefix: the workload name
+// "champsim:<path>" resolves through Split to the "champsim" converter.
+// Compression is orthogonal to format: OpenFile detects gzip from the
+// stream's leading magic bytes, never the file name.
+//
+// The conversion contract mirrors trace replay everywhere else in the
+// repository: a fixed input file yields a byte-identical record stream on
+// every pass, so multi-pass schemes (RPG2, Prophet) and repeated sweeps see
+// the exact trace the validation pass saw. Errors are reported through
+// Reader.Err, never panics; Count streams a whole file once to surface
+// corrupt headers and mid-record truncation as errors before a simulation
+// silently runs on a short trace.
+package ingest
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"prophet/internal/mem"
+)
+
+// ErrBadTrace reports a malformed external trace (corrupt record, truncated
+// file, unparsable field). It wraps every converter's decode errors so
+// callers can classify ingestion failures without knowing the format.
+var ErrBadTrace = errors.New("ingest: malformed external trace")
+
+// Reader is a streaming converted trace: a mem.Source plus the error that
+// terminated it early, if any. A Reader is single-use; re-open the file for
+// another pass.
+type Reader interface {
+	mem.Source
+	// Err returns the decode error that ended the stream prematurely, or
+	// nil after a clean end of input.
+	Err() error
+}
+
+// Format is one registered external trace format.
+type Format struct {
+	// Name is the registry key and the workload-source prefix
+	// ("champsim" serves champsim:<path> workload names).
+	Name string
+	// Description is a one-line summary for tooling (CLI help, the
+	// daemon's /v1/workloads source table).
+	Description string
+	// Open wraps an already-decompressed byte stream in a streaming
+	// converter positioned at the first record.
+	Open func(r io.Reader) (Reader, error)
+}
+
+var (
+	mu      sync.RWMutex
+	formats = map[string]Format{}
+)
+
+// Register installs a format under its name. Duplicates are rejected: two
+// converters fighting over a prefix would make workload resolution depend
+// on init order.
+func Register(f Format) error {
+	if f.Name == "" {
+		return fmt.Errorf("ingest: empty format name")
+	}
+	if strings.ContainsAny(f.Name, ":/\\ \t\n") {
+		return fmt.Errorf("ingest: format name %q must be prefix-safe", f.Name)
+	}
+	if f.Open == nil {
+		return fmt.Errorf("ingest: nil Open for format %q", f.Name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := formats[f.Name]; dup {
+		return fmt.Errorf("ingest: format %q already registered", f.Name)
+	}
+	formats[f.Name] = f
+	return nil
+}
+
+// MustRegister is Register for init functions.
+func MustRegister(f Format) {
+	if err := Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a format by name.
+func Lookup(name string) (Format, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	f, ok := formats[name]
+	return f, ok
+}
+
+// Formats lists the registered formats sorted by name, for stable output.
+func Formats() []Format {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]Format, 0, len(formats))
+	for _, f := range formats {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Split parses a "<format>:<path>" workload-source name against the
+// registered formats. Names whose prefix is not a registered format (or
+// that have no prefix at all) report ok=false — they belong to another
+// resolver, like the catalog or "file:".
+func Split(name string) (f Format, path string, ok bool) {
+	prefix, rest, found := strings.Cut(name, ":")
+	if !found || rest == "" {
+		return Format{}, "", false
+	}
+	f, ok = Lookup(prefix)
+	return f, rest, ok
+}
+
+// FileReader couples a converter with the file (and optional gzip layer)
+// beneath it.
+type FileReader struct {
+	Reader
+	f *os.File
+}
+
+// Close releases the underlying file.
+func (c *FileReader) Close() error { return c.f.Close() }
+
+// OpenFile opens path for streaming conversion under format f,
+// transparently decompressing gzip (detected from the stream's leading
+// magic bytes, not the file name). The caller owns the returned reader and
+// must Close it.
+func OpenFile(f Format, path string) (*FileReader, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(file, 1<<16)
+	var src io.Reader = br
+	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			file.Close()
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+		}
+		src = zr
+	}
+	r, err := f.Open(src)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	return &FileReader{Reader: r, f: file}, nil
+}
+
+// Count streams the whole file through the converter, returning the number
+// of access records it yields. It is the validation pass behind workload
+// resolution: a corrupt header, a truncated record, or an absurd field
+// surfaces here as an error — before a simulation would silently run on a
+// short stream.
+func Count(f Format, path string) (uint64, error) {
+	r, err := OpenFile(f, path)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	var n uint64
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

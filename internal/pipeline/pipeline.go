@@ -17,6 +17,11 @@ import (
 	"prophet/internal/sim"
 	"prophet/internal/triage"
 	"prophet/internal/triangel"
+
+	// Registered for their scheme-registry side effects: every binary that
+	// evaluates through the pipeline can resolve "gaze" and "adaptive".
+	_ "prophet/internal/adaptive"
+	_ "prophet/internal/gaze"
 )
 
 // SourceFactory produces a fresh deterministic trace for each run.

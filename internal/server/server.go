@@ -34,6 +34,7 @@ import (
 
 	"prophet"
 
+	"prophet/internal/ingest"
 	"prophet/internal/mem"
 	"prophet/internal/resultstore"
 )
@@ -118,6 +119,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sessions/{id}/profile", s.handleSessionProfile)
 	mux.HandleFunc("POST /v1/sessions/{id}/optimize", s.handleSessionOptimize)
 	mux.HandleFunc("POST /v1/sessions/{id}/run", s.handleSessionRun)
+	mux.HandleFunc("POST /v1/sessions/{id}/adapt", s.handleSessionAdapt)
 	s.mux = mux
 	return s
 }
@@ -142,13 +144,20 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, VersionResponse{Version: prophet.Version()})
 }
 
-// WorkloadsResponse is the GET /v1/workloads body.
+// WorkloadsResponse is the GET /v1/workloads body: the catalog entries plus
+// the workload-source prefix table, so clients can discover that file: and
+// external-trace names (champsim:, csv:) resolve too — with the caveat that
+// path-backed workloads read files on the daemon's own disk.
 type WorkloadsResponse struct {
 	Workloads []prophet.WorkloadInfo `json:"workloads"`
+	Sources   []prophet.SourceInfo   `json:"sources"`
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, WorkloadsResponse{Workloads: prophet.CatalogInfo()})
+	writeJSON(w, http.StatusOK, WorkloadsResponse{
+		Workloads: prophet.CatalogInfo(),
+		Sources:   prophet.Sources(),
+	})
 }
 
 // SchemesResponse is the GET /v1/schemes body.
@@ -281,10 +290,10 @@ func decodeJSON(r *http.Request, v any) error {
 // statusFor maps an engine error to an HTTP status: resolution failures
 // (unknown workload/scheme, missing or malformed trace file) are the
 // client's fault. File errors carry sentinels (fs.ErrNotExist,
-// mem.ErrBadTrace); the catalog errors are plain fmt.Errorf values, so
-// those are matched by their stable message prefixes.
+// mem.ErrBadTrace, ingest.ErrBadTrace); the catalog errors are plain
+// fmt.Errorf values, so those are matched by their stable message prefixes.
 func statusFor(err error) int {
-	if errors.Is(err, fs.ErrNotExist) || errors.Is(err, mem.ErrBadTrace) {
+	if errors.Is(err, fs.ErrNotExist) || errors.Is(err, mem.ErrBadTrace) || errors.Is(err, ingest.ErrBadTrace) {
 		return http.StatusBadRequest
 	}
 	msg := err.Error()

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"prophet/internal/graphs"
+	"prophet/internal/ingest"
 	"prophet/internal/mem"
 	"prophet/internal/pipeline"
 	"prophet/internal/sim"
@@ -71,11 +72,15 @@ import (
 // Evaluator.Run (never a panic).
 //
 // Beyond the catalog, a "file:<path>" name replays an exported trace file
-// (cmd/tracegen output, plain or gzip), so recorded traces run through the
-// same Evaluator/Sweep/daemon machinery as generated ones.
+// (cmd/tracegen output, plain or gzip), and an ingest-format prefix
+// ("champsim:<path>", "csv:<path>") streams an external trace through the
+// internal/ingest converters — so recorded and third-party traces run
+// through the same Evaluator/Sweep/daemon machinery as generated ones.
+// Sources lists the full prefix table.
 type Workload struct {
-	// Name is the catalog identifier ("mcf", "gcc_166", "bfs_100000_16")
-	// or a "file:<path>" trace-file reference.
+	// Name is the catalog identifier ("mcf", "gcc_166", "bfs_100000_16"),
+	// a "file:<path>" trace-file reference, or an external-trace reference
+	// like "champsim:<path>".
 	Name string
 	// Records is the trace length in memory records (0 = catalog default).
 	Records uint64
@@ -171,7 +176,119 @@ func (w Workload) factory() (pipeline.SourceFactory, error) {
 			return src
 		}, nil
 	}
+	if f, path, ok := ingest.Split(w.Name); ok {
+		// External traces are streamed, not materialized: each pass
+		// re-opens and re-decodes the file in O(block) memory. Because
+		// mem.Source has no error channel, a full validation pass runs
+		// here at resolution time (cached by size/mtime, metadata only),
+		// so corrupt or truncated traces fail loudly before any
+		// simulation consumes a silently short stream.
+		if _, err := ingestCountCached(f, path); err != nil {
+			return nil, fmt.Errorf("prophet: workload %q: %w", w.Name, err)
+		}
+		return func() mem.Source {
+			src := mem.Source(openExternal(f, path))
+			if records > 0 {
+				src = mem.Limit(src, records)
+			}
+			return src
+		}, nil
+	}
 	return nil, fmt.Errorf("prophet: unknown workload %q", w.Name)
+}
+
+// externalPath returns the on-disk path behind a workload backed by a
+// mutable external file — "file:" replays and every registered ingest format
+// — or "" for catalog/graph workloads. Dispatch pinning (backends.go) and
+// the durable result store (store.go) both branch on this: external files
+// exist only on the local host and can change under the same name.
+func externalPath(name string) string {
+	if path, ok := strings.CutPrefix(name, "file:"); ok {
+		return path
+	}
+	if _, path, ok := ingest.Split(name); ok {
+		return path
+	}
+	return ""
+}
+
+// externalSource adapts an ingest.FileReader to a plain mem.Source,
+// releasing the file as soon as the stream ends. A source abandoned
+// mid-stream (a Limit cut, an aborted sweep) is closed by the runtime's file
+// finalizer instead — acceptable for the handful of passes a run makes.
+type externalSource struct {
+	r *ingest.FileReader
+}
+
+func openExternal(f ingest.Format, path string) *externalSource {
+	r, err := ingest.OpenFile(f, path)
+	if err != nil {
+		// The file validated at resolution time; losing it between then
+		// and the pass is the same mid-run mutation race file: accepts.
+		// An empty stream keeps the run deterministic and error-free.
+		return &externalSource{}
+	}
+	return &externalSource{r: r}
+}
+
+// Next implements mem.Source.
+func (s *externalSource) Next() (mem.Access, bool) {
+	if s.r == nil {
+		return mem.Access{}, false
+	}
+	a, ok := s.r.Next()
+	if !ok {
+		s.r.Close()
+		s.r = nil
+	}
+	return a, ok
+}
+
+// ingestCountCache memoizes external-trace validation by path metadata, so a
+// 5-scheme sweep over one champsim: workload validates the file once, not
+// once per job. Only the record count is retained — never the records.
+var ingestCountCache struct {
+	sync.Mutex
+	entries map[string]ingestCountEntry
+	order   []string // FIFO of cached keys
+}
+
+type ingestCountEntry struct {
+	count   uint64
+	size    int64
+	modTime time.Time
+}
+
+func ingestCountCached(f ingest.Format, path string) (uint64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	key := f.Name + ":" + path
+	ingestCountCache.Lock()
+	if e, ok := ingestCountCache.entries[key]; ok && e.size == fi.Size() && e.modTime.Equal(fi.ModTime()) {
+		ingestCountCache.Unlock()
+		return e.count, nil
+	}
+	ingestCountCache.Unlock()
+	n, err := ingest.Count(f, path)
+	if err != nil {
+		return 0, err
+	}
+	ingestCountCache.Lock()
+	if ingestCountCache.entries == nil {
+		ingestCountCache.entries = map[string]ingestCountEntry{}
+	}
+	if _, ok := ingestCountCache.entries[key]; !ok {
+		ingestCountCache.order = append(ingestCountCache.order, key)
+		if len(ingestCountCache.order) > traceCacheMax {
+			delete(ingestCountCache.entries, ingestCountCache.order[0])
+			ingestCountCache.order = ingestCountCache.order[1:]
+		}
+	}
+	ingestCountCache.entries[key] = ingestCountEntry{count: n, size: fi.Size(), modTime: fi.ModTime()}
+	ingestCountCache.Unlock()
+	return n, nil
 }
 
 // traceCache holds the few most recently used parsed trace files, keyed by
@@ -228,9 +345,10 @@ func readTraceCached(path string) ([]mem.Access, error) {
 // key identifies the workload's exact trace for baseline caching. Records
 // is normalized to the effective trace length, so the catalog default asked
 // for explicitly and as 0 share one cache entry — the traces are identical.
-// For file: workloads the key carries the file's size and mtime: a
-// regenerated trace under the same path is a different trace and must not
-// inherit the old baseline in a long-lived process (prophetd).
+// For workloads backed by an on-disk file (file:, champsim:, csv:) the key
+// carries the file's size and mtime: a regenerated trace under the same path
+// is a different trace and must not inherit the old baseline in a
+// long-lived process (prophetd).
 func (w Workload) key() string {
 	records := w.Records
 	if records == 0 {
@@ -240,7 +358,7 @@ func (w Workload) key() string {
 			records = graphs.DefaultRecords
 		}
 	}
-	if path, ok := strings.CutPrefix(w.Name, "file:"); ok {
+	if path := externalPath(w.Name); path != "" {
 		if fi, err := os.Stat(path); err == nil {
 			return fmt.Sprintf("%s@%d#%d.%d", w.Name, records, fi.Size(), fi.ModTime().UnixNano())
 		}
@@ -257,6 +375,42 @@ func (w Workload) Open() (mem.Source, error) {
 		return nil, err
 	}
 	return f(), nil
+}
+
+// SourceFactory resolves the workload once and returns a factory of fresh
+// deterministic trace sources — what multi-pass consumers (the experiments
+// suite, custom pipelines) need, since a mem.Source is single-use.
+func (w Workload) SourceFactory() (func() mem.Source, error) {
+	f, err := w.factory()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// SourceInfo describes one workload-source prefix — how tooling (CLI help,
+// the daemon's GET /v1/workloads) advertises where workload names can come
+// from.
+type SourceInfo struct {
+	// Prefix is the literal name prefix ("file:", "champsim:"); empty for
+	// the catalog/graph namespace.
+	Prefix string `json:"prefix"`
+	// Description is a one-line summary of the source.
+	Description string `json:"description"`
+}
+
+// Sources lists every workload-source prefix this build resolves: the
+// catalog/graph namespace, native trace replay, and each registered
+// external-trace ingest format.
+func Sources() []SourceInfo {
+	out := []SourceInfo{
+		{Prefix: "", Description: "catalog workload or graph grammar, resolved by name"},
+		{Prefix: "file:", Description: "native trace file replay (tracegen output, gzip auto-detected)"},
+	}
+	for _, f := range ingest.Formats() {
+		out = append(out, SourceInfo{Prefix: f.Name + ":", Description: f.Description})
+	}
+	return out
 }
 
 // Options configure the simulated system and the Prophet pipeline. The

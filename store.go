@@ -17,7 +17,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"strings"
 )
 
 // ResultStore is the durable second cache tier consulted below the
@@ -103,14 +102,15 @@ func WithResultStore(rs ResultStore) Option {
 // runs: call it before the evaluator starts serving.
 func (e *Evaluator) UseResultStore(rs ResultStore) { e.store = rs }
 
-// storable excludes jobs that must not be persisted: "file:" workloads
-// reference local paths whose contents can change under the same name, so
-// a durable entry could outlive the trace that produced it.
-func storable(j Job) bool { return !strings.HasPrefix(j.Workload.Name, "file:") }
+// storable excludes jobs that must not be persisted: workloads backed by an
+// on-disk path ("file:", "champsim:", "csv:") reference local files whose
+// contents can change under the same name, so a durable entry could outlive
+// the trace that produced it.
+func storable(j Job) bool { return externalPath(j.Workload.Name) == "" }
 
 // StoreLookup consults rs for j's completed result, applying the full
-// read-side contract: storability (file: workloads are never served from a
-// store), the canonical key, and strict decoding (a corrupt or
+// read-side contract: storability (external-path workloads are never served
+// from a store), the canonical key, and strict decoding (a corrupt or
 // drifted-schema value reads as a miss, never as zeroed stats). It is the
 // lookup every tier uses — the evaluator internally and prophetd's serving
 // layer for its disk-tier probe.
