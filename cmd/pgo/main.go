@@ -1,0 +1,206 @@
+// Command pgo closes the repository's profile-guided-optimization loop: it
+// folds CPU profiles captured from prophetd and prophetbench into the single
+// default.pgo the compiler consumes, and verifies that a PGO build actually
+// beats the plain build.
+//
+// Merge mode (the default) combines .pprof files — explicit arguments,
+// a -dir of captures, or both — into one profile:
+//
+//	pgo -o default.pgo profiles/*.pprof
+//	pgo -dir profiles -o default.pgo
+//	pgo -info default.pgo                 # summarize without merging
+//
+// Merging follows the pprof tool's semantics (implemented natively by
+// internal/pcapture, no external tooling): symbol tables deduplicate,
+// samples with identical stacks sum, durations add. All inputs must be CPU
+// profiles.
+//
+// Verify mode compares two prophetbench JSON reports — the plain build's and
+// the PGO build's, measured on the same machine and matrix — and exits
+// non-zero unless the PGO build wins the ns/op geomean by more than -min-win
+// percent (default 0: any win passes, any loss fails). CI's pgo job runs
+// exactly this; see docs/PROFILING.md for the full loop.
+//
+//	pgo -verify bench-plain.json bench-pgo.json
+//	pgo -verify -min-win 1.5 bench-plain.json bench-pgo.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"prophet"
+
+	"prophet/internal/pcapture"
+)
+
+func main() {
+	var (
+		out         = flag.String("o", "default.pgo", "merged profile output path")
+		dir         = flag.String("dir", "", "also merge every *.pprof under this directory")
+		info        = flag.Bool("info", false, "summarize the input profiles instead of merging")
+		verify      = flag.Bool("verify", false, "compare two prophetbench reports (plain, pgo) and require a PGO win")
+		minWin      = flag.Float64("min-win", 0, "with -verify: minimum geomean ns/op improvement percent the PGO build must show")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("pgo", prophet.Version())
+		return
+	}
+
+	if *verify {
+		if flag.NArg() != 2 {
+			fatalf("-verify takes exactly two arguments: <plain report.json> <pgo report.json>")
+		}
+		if err := verifyWin(flag.Arg(0), flag.Arg(1), *minWin); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	paths := append([]string{}, flag.Args()...)
+	if *dir != "" {
+		found, err := filepath.Glob(filepath.Join(*dir, "*.pprof"))
+		if err != nil {
+			fatalf("scanning %s: %v", *dir, err)
+		}
+		sort.Strings(found)
+		paths = append(paths, found...)
+	}
+	if len(paths) == 0 {
+		fatalf("no input profiles (pass .pprof files, or -dir <profiles>)")
+	}
+
+	if *info {
+		for _, path := range paths {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			pi, err := pcapture.ReadInfo(data)
+			if err != nil {
+				fatalf("%s: %v", path, err)
+			}
+			printInfo(path, pi)
+		}
+		return
+	}
+
+	merged, err := pcapture.MergeFiles(paths...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(*out, merged, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	pi, err := pcapture.ReadInfo(merged)
+	if err != nil {
+		fatalf("reading back %s: %v", *out, err)
+	}
+	fmt.Printf("merged %d profiles into %s (%d bytes)\n", len(paths), *out, len(merged))
+	printInfo(*out, pi)
+}
+
+func printInfo(path string, pi pcapture.Info) {
+	fmt.Printf("%s: %d samples, %d functions, %d locations, %v profiled, %v CPU [%s]\n",
+		path, pi.Samples, pi.Functions, pi.Locations,
+		pi.Duration.Round(time.Millisecond), pi.TotalCPU.Round(time.Millisecond),
+		joinTypes(pi.SampleTypes))
+}
+
+func joinTypes(ts []string) string {
+	out := ""
+	for i, t := range ts {
+		if i > 0 {
+			out += ", "
+		}
+		out += t
+	}
+	return out
+}
+
+// benchReport is the subset of cmd/prophetbench's JSON schema the verify
+// mode needs (schema 1).
+type benchReport struct {
+	Schema  int    `json:"schema"`
+	Records uint64 `json:"records"`
+	Cells   []struct {
+		Workload string  `json:"workload"`
+		Scheme   string  `json:"scheme"`
+		NsPerOp  float64 `json:"nsPerOp"`
+	} `json:"cells"`
+}
+
+func readBench(path string) (benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchReport{}, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return benchReport{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != 1 {
+		return benchReport{}, fmt.Errorf("%s: unsupported prophetbench schema %d (want 1)", path, rep.Schema)
+	}
+	return rep, nil
+}
+
+// verifyWin enforces the PGO acceptance gate: the PGO build's geomean ns/op
+// across the cells shared with the plain report must improve by more than
+// minWin percent.
+func verifyWin(plainPath, pgoPath string, minWin float64) error {
+	plain, err := readBench(plainPath)
+	if err != nil {
+		return err
+	}
+	pgo, err := readBench(pgoPath)
+	if err != nil {
+		return err
+	}
+	if plain.Records != pgo.Records {
+		return fmt.Errorf("reports measured different trace lengths (%d vs %d records) — rerun both on the same matrix",
+			plain.Records, pgo.Records)
+	}
+	plainNs := map[string]float64{}
+	for _, c := range plain.Cells {
+		plainNs[c.Workload+"/"+c.Scheme] = c.NsPerOp
+	}
+	var logSum float64
+	matched := 0
+	fmt.Printf("%-12s %-9s %14s %14s %9s\n", "workload", "scheme", "plain ns/op", "pgo ns/op", "Δ")
+	for _, c := range pgo.Cells {
+		old, ok := plainNs[c.Workload+"/"+c.Scheme]
+		if !ok || old <= 0 || c.NsPerOp <= 0 {
+			continue
+		}
+		matched++
+		logSum += math.Log(c.NsPerOp / old)
+		fmt.Printf("%-12s %-9s %14.0f %14.0f %8.1f%%\n",
+			c.Workload, c.Scheme, old, c.NsPerOp, (c.NsPerOp-old)/old*100)
+	}
+	if matched == 0 {
+		return fmt.Errorf("the reports share no measurable cells — were they produced by the same matrix?")
+	}
+	// Positive geo = PGO slower; negative = PGO faster.
+	geo := (math.Exp(logSum/float64(matched)) - 1) * 100
+	win := -geo
+	fmt.Printf("\ngeomean ns/op: PGO build is %+.2f%% vs plain (%d cells)\n", geo, matched)
+	if win <= minWin {
+		return fmt.Errorf("PGO build does not beat the plain build by more than %.2f%% (won %.2f%%) — recapture profiles (docs/PROFILING.md) or investigate the regression", minWin, win)
+	}
+	fmt.Printf("PASS: PGO build wins by %.2f%% (> %.2f%% required)\n", win, minWin)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pgo: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,6 +13,10 @@
 // by more than -threshold percent. CI runs exactly that against the committed
 // baseline, so hot-path regressions fail the build.
 //
+// -cpuprofile captures the whole matrix run as one CPU profile — the raw
+// material for the repository's PGO loop: per-workload runs are merged by
+// cmd/pgo into the checked-in default.pgo (see docs/PROFILING.md).
+//
 // Timing semantics per cell:
 //
 //   - For prefetching schemes, one op is one Evaluator.Run — a full
@@ -39,6 +43,7 @@ import (
 	"prophet"
 
 	"prophet/internal/cliutil"
+	"prophet/internal/pcapture"
 )
 
 // schemaVersion identifies the JSON layout; bump on incompatible change.
@@ -85,6 +90,7 @@ func main() {
 		threshold     = flag.Float64("threshold", 10, "max allowed ns/op regression percent vs -compare")
 		nsGate        = flag.Bool("ns-gate", true, "gate on ns/op (disable when the baseline comes from different hardware; allocs/op stays gated)")
 		extended      = flag.Bool("extended", false, "append the extra scheme families (gaze, adaptive) to the matrix; their cells are absent from older baselines and therefore not gated")
+		cpuprofile    = flag.String("cpuprofile", "", "capture a CPU profile of the whole matrix run to this .pprof file (feeds the PGO loop, docs/PROFILING.md)")
 		showVersion   = flag.Bool("version", false, "print version and exit")
 	)
 	testing.Init()
@@ -127,6 +133,18 @@ func main() {
 
 	ctx := context.Background()
 	ev := prophet.New(prophet.WithWorkers(1))
+
+	// With -cpuprofile the whole matrix runs inside one capture window, so
+	// the profile weights each cell by its real measurement cost — exactly
+	// the mix a PGO build of this binary will execute.
+	var capt *pcapture.Capturer
+	if *cpuprofile != "" {
+		capt = pcapture.New(pcapture.Options{})
+		if err := capt.Start("prophetbench"); err != nil {
+			fatalf("start CPU profile: %v", err)
+		}
+	}
+
 	for _, wn := range ws {
 		w, err := prophet.Find(wn)
 		if err != nil {
@@ -142,6 +160,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "measured %-12s %-9s %12.0f ns/op %9d allocs/op\n",
 				wn, sn, cell.NsPerOp, cell.AllocsPerOp)
 		}
+	}
+
+	if capt != nil {
+		cap, err := capt.Stop()
+		if err != nil {
+			fatalf("stop CPU profile: %v", err)
+		}
+		if err := os.WriteFile(*cpuprofile, cap.Data, 0o644); err != nil {
+			fatalf("writing %s: %v", *cpuprofile, err)
+		}
+		fmt.Fprintf(os.Stderr, "cpu profile (%d bytes) written to %s\n", len(cap.Data), *cpuprofile)
 	}
 
 	printTable(rep)

@@ -13,6 +13,8 @@
 //	prophetd -cache-ttl 1h -queue 128
 //	prophetd -store results.prst              # durable result store
 //	prophetd -peers http://w1:8373,http://w2:8373   # coordinate a fleet
+//	prophetd -profile-dir profiles            # persist CPU captures
+//	prophetd -profile-dir profiles -capture-on-shutdown
 //	prophetd -version
 //
 // With -store the daemon keeps a durable, content-addressed result store on
@@ -31,6 +33,17 @@
 // and the merged results are byte-identical to a standalone run. Peers
 // execute batches on their own engines only — fan-out never cascades — so
 // a peer list must name other daemons, not the daemon itself.
+//
+// The daemon is also its own profiling subject (the PGO loop in
+// docs/PROFILING.md). /debug/pprof/* serves the standard ad-hoc profiles,
+// and POST /v1/profile/{start,stop} drives an explicit CPU capture window;
+// with -profile-dir every capture is persisted as a named, timestamped
+// .pprof file. On Unix, SIGUSR1 toggles a capture window without any HTTP
+// involvement, and -capture-on-shutdown opens a window at startup that is
+// emitted when the daemon exits — a whole-lifetime profile for free. All
+// surfaces share the runtime's single CPU-profile window, so in
+// -capture-on-shutdown mode the HTTP start endpoint answers 409 and a stop
+// (or SIGUSR1) closes the lifetime window early; pick one mode per daemon.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: intake stops, open
 // connections drain, queued jobs are cancelled.
@@ -52,6 +65,7 @@ import (
 	"prophet"
 
 	"prophet/internal/cliutil"
+	"prophet/internal/pcapture"
 	"prophet/internal/resultstore"
 	"prophet/internal/server"
 )
@@ -73,6 +87,8 @@ func main() {
 	storeMax := flag.Int64("store-max-bytes", 256<<20, "result store size cap before LRU compaction (0 = unbounded)")
 	peers := flag.String("peers", "", "comma-separated peer prophetd base URLs to shard sweeps across (coordinator mode)")
 	peerRetries := flag.Int("peer-retries", 2, "batch attempts per peer before failing over to the local engine")
+	profileDir := flag.String("profile-dir", "", "persist CPU captures (POST /v1/profile, SIGUSR1, shutdown) as .pprof files here")
+	captureOnShutdown := flag.Bool("capture-on-shutdown", false, "profile the daemon's whole lifetime, emitted at shutdown (requires -profile-dir)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -119,6 +135,10 @@ func main() {
 			*storePath, ss.Entries, ss.Bytes, ss.CorruptSkipped, ss.Resets)
 		ev.UseResultStore(store)
 	}
+	if *captureOnShutdown && *profileDir == "" {
+		log.Fatal("-capture-on-shutdown requires -profile-dir (the capture has nowhere to go)")
+	}
+	capt := pcapture.New(pcapture.Options{Dir: *profileDir, Logf: log.Printf})
 	srv := server.New(server.Config{
 		Evaluator:    ev,
 		CacheEntries: *cacheEntries,
@@ -127,6 +147,7 @@ func main() {
 		QueueDepth:   *queueDepth,
 		JobRetention: *jobRetention,
 		Store:        store,
+		Capturer:     capt,
 	})
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -135,6 +156,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *profileDir != "" {
+		// SIGUSR1 (where the platform has it) toggles a capture window:
+		// first signal opens, second closes and persists.
+		capt.HandleSignals(ctx, profileSignals...)
+	}
+	if *captureOnShutdown {
+		if err := capt.Start("lifetime"); err != nil {
+			log.Fatalf("start lifetime capture: %v", err)
+		}
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
@@ -158,6 +190,13 @@ func main() {
 	}
 	if err := srv.Close(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("job drain: %v", err)
+	}
+	// Emit any still-open capture window (the -capture-on-shutdown lifetime
+	// profile, or a window a client started and never stopped).
+	if cap, ok, err := capt.Close(); err != nil {
+		log.Printf("shutdown capture: %v", err)
+	} else if ok {
+		log.Printf("shutdown capture %q persisted to %s (%d bytes)", cap.Name, cap.Path, len(cap.Data))
 	}
 	log.Printf("bye")
 }

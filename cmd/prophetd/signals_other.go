@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// profileSignals is empty on platforms without SIGUSR1; the HTTP capture
+// endpoints and -capture-on-shutdown still work.
+var profileSignals []os.Signal

@@ -1,0 +1,13 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"syscall"
+)
+
+// profileSignals lists the signals that toggle a CPU capture window when
+// -profile-dir is set. SIGUSR1 is the conventional "do your debug thing"
+// signal and exists on every Unix.
+var profileSignals = []os.Signal{syscall.SIGUSR1}

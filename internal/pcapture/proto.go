@@ -1,0 +1,197 @@
+package pcapture
+
+// Low-level protobuf wire codec for the pprof profile.proto schema. The
+// merge path cannot depend on the pprof tool or its libraries (the module is
+// dependency-free), and the schema is small and frozen, so the fifteen
+// Profile fields are decoded and re-encoded directly from the wire format.
+// Unknown fields are skipped on decode; every field the current schema
+// defines is modeled, so round-trips are lossless for profiles runtime/pprof
+// emits.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire types (protobuf encoding spec).
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+var errVarintOverflow = errors.New("pcapture: varint overflows 64 bits")
+
+// wireReader is a cursor over one serialized message.
+type wireReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *wireReader) more() bool { return r.pos < len(r.data) }
+
+func (r *wireReader) varint() (uint64, error) {
+	var v uint64
+	for i := 0; i < 10; i++ {
+		if r.pos >= len(r.data) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		b := r.data[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << (7 * i)
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, errVarintOverflow
+}
+
+// tag reads the next field number and wire type.
+func (r *wireReader) tag() (field int, wire int, err error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// bytes reads a length-delimited payload.
+func (r *wireReader) bytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+// skip discards one field of the given wire type.
+func (r *wireReader) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := r.varint()
+		return err
+	case wireFixed64:
+		if len(r.data)-r.pos < 8 {
+			return io.ErrUnexpectedEOF
+		}
+		r.pos += 8
+		return nil
+	case wireBytes:
+		_, err := r.bytes()
+		return err
+	case wireFixed32:
+		if len(r.data)-r.pos < 4 {
+			return io.ErrUnexpectedEOF
+		}
+		r.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("pcapture: unsupported wire type %d", wire)
+	}
+}
+
+// uint64s appends one-or-packed repeated varint values: pprof writers emit
+// repeated scalars packed (proto3 default), but unpacked single values are
+// legal wire format too, so both are accepted.
+func (r *wireReader) uint64s(wire int, dst []uint64) ([]uint64, error) {
+	if wire == wireVarint {
+		v, err := r.varint()
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, v), nil
+	}
+	if wire != wireBytes {
+		return dst, fmt.Errorf("pcapture: repeated varint field has wire type %d", wire)
+	}
+	body, err := r.bytes()
+	if err != nil {
+		return dst, err
+	}
+	sub := wireReader{data: body}
+	for sub.more() {
+		v, err := sub.varint()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// int64s is uint64s for int64 fields (two's-complement varints).
+func (r *wireReader) int64s(wire int, dst []int64) ([]int64, error) {
+	tmp, err := r.uint64s(wire, nil)
+	if err != nil {
+		return dst, err
+	}
+	for _, v := range tmp {
+		dst = append(dst, int64(v))
+	}
+	return dst, nil
+}
+
+// wireWriter builds a serialized message.
+type wireWriter struct {
+	b []byte
+}
+
+func (w *wireWriter) uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+
+func (w *wireWriter) tag(field, wire int) { w.uvarint(uint64(field)<<3 | uint64(wire)) }
+
+// varintField writes a varint-typed field, omitting proto3 zero defaults.
+func (w *wireWriter) varintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	w.tag(field, wireVarint)
+	w.uvarint(v)
+}
+
+func (w *wireWriter) int64Field(field int, v int64) { w.varintField(field, uint64(v)) }
+
+func (w *wireWriter) boolField(field int, v bool) {
+	if v {
+		w.varintField(field, 1)
+	}
+}
+
+// bytesField writes a length-delimited field (always, even when empty — an
+// empty submessage is meaningful for repeated fields).
+func (w *wireWriter) bytesField(field int, body []byte) {
+	w.tag(field, wireBytes)
+	w.uvarint(uint64(len(body)))
+	w.b = append(w.b, body...)
+}
+
+// packedField writes repeated varints packed; empty slices are omitted.
+func (w *wireWriter) packedField(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var sub wireWriter
+	for _, v := range vs {
+		sub.uvarint(v)
+	}
+	w.bytesField(field, sub.b)
+}
+
+func (w *wireWriter) packedInt64Field(field int, vs []int64) {
+	if len(vs) == 0 {
+		return
+	}
+	var sub wireWriter
+	for _, v := range vs {
+		sub.uvarint(uint64(v))
+	}
+	w.bytesField(field, sub.b)
+}

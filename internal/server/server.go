@@ -36,6 +36,7 @@ import (
 
 	"prophet/internal/ingest"
 	"prophet/internal/mem"
+	"prophet/internal/pcapture"
 	"prophet/internal/resultstore"
 )
 
@@ -60,6 +61,11 @@ type Config struct {
 	// tier. The caller owns the store's lifecycle and must also attach it
 	// to the Evaluator (UseResultStore) so computed results write through.
 	Store *resultstore.Store
+	// Capturer backs POST /v1/profile/{start,stop}. Nil builds a
+	// memory-only capturer (profiles are returned to the caller but not
+	// persisted server-side); prophetd passes one configured with
+	// -profile-dir so captures also land on disk for the PGO loop.
+	Capturer *pcapture.Capturer
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -71,6 +77,7 @@ type Server struct {
 	ev    *prophet.Evaluator
 	cache *resultCache
 	store *resultstore.Store // nil when serving without a disk tier
+	capt  *pcapture.Capturer
 	jobs  *jobStore
 	sess  *sessionStore
 	mux   *http.ServeMux
@@ -93,10 +100,14 @@ func New(cfg Config) *Server {
 	if now == nil {
 		now = time.Now
 	}
+	if cfg.Capturer == nil {
+		cfg.Capturer = pcapture.New(pcapture.Options{})
+	}
 	s := &Server{
 		ev:    cfg.Evaluator,
 		cache: newResultCache(cfg.CacheEntries, cfg.CacheTTL, now),
 		store: cfg.Store,
+		capt:  cfg.Capturer,
 		jobs:  newJobStore(cfg.JobWorkers, cfg.QueueDepth, cfg.JobRetention, now),
 		sess:  newSessionStore(now),
 		now:   now,
@@ -120,6 +131,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/sessions/{id}/optimize", s.handleSessionOptimize)
 	mux.HandleFunc("POST /v1/sessions/{id}/run", s.handleSessionRun)
 	mux.HandleFunc("POST /v1/sessions/{id}/adapt", s.handleSessionAdapt)
+	s.registerProfileRoutes(mux)
 	s.mux = mux
 	return s
 }
@@ -203,6 +215,10 @@ type StatsResponse struct {
 		Total   int `json:"total"`
 	} `json:"jobs"`
 	Sessions int `json:"sessions"`
+	// Profile reports the CPU-capture window state: whether one is open
+	// (and its name), how many captures this process has taken, and where
+	// the last one was persisted.
+	Profile pcapture.Stats `json:"profile"`
 	// Dispatch reports the sweep-sharding fleet: the configured peers and
 	// the dispatcher's remote/local/retry/failover counters (all zero when
 	// the daemon runs standalone).
@@ -232,6 +248,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Jobs.Running = s.jobs.Running()
 	resp.Jobs.Total = s.jobs.Len()
 	resp.Sessions = s.sess.Len()
+	resp.Profile = s.capt.CaptureStats()
 	resp.Dispatch.Peers = s.ev.Backends()
 	resp.Dispatch.Stats = s.ev.DispatchStats()
 	writeJSON(w, http.StatusOK, resp)
