@@ -1,11 +1,14 @@
-// Sharded multi-backend sweep dispatch: the client half of the fleet
+// Coordinated multi-backend sweep dispatch: the client half of the fleet
 // protocol. An Evaluator configured with WithBackends fans Sweep jobs out
-// over remote prophetd instances through internal/dispatch — deterministic
-// hash sharding by workload+scheme, one batched POST /v1/batch per backend
-// shard, bounded retries, and failover to the in-process engine — and
+// over remote prophetd instances through internal/dispatch — chunks placed
+// by a pluggable scheduler (hash affinity by workload+scheme, or
+// least-loaded fed by GET /v1/health probes), batched POST /v1/batch
+// requests, bounded retries, and failover to the in-process engine — and
 // merges results in job order, so output is byte-identical to a local
-// sweep. The wire types below are shared with the serving side in
-// internal/server, which keeps client and daemon from drifting apart.
+// sweep. Backends can also join and leave the fleet at runtime
+// (AddBackend/RemoveBackend, driven by prophetd's POST /v1/peers). The
+// wire types below are shared with the serving side in internal/server,
+// which keeps client and daemon from drifting apart.
 package prophet
 
 import (
@@ -68,16 +71,69 @@ type BatchResponse struct {
 	Results []BatchResult `json:"results"`
 }
 
+// Health is the GET /v1/health reply: a lightweight load and identity
+// snapshot a coordinator polls to steer least-loaded scheduling and to
+// verify a peer simulates a compatible engine.
+type Health struct {
+	// Version is the daemon's build version.
+	Version string `json:"version"`
+	// Engine is the daemon's engine fingerprint (schema generation, build
+	// version, simulation options); coordinators refuse to schedule onto a
+	// peer whose fingerprint differs from their own.
+	Engine string `json:"engine"`
+	// Workers is the daemon's sweep worker pool width.
+	Workers int `json:"workers"`
+	// QueueDepth is the number of queued async jobs awaiting a worker.
+	QueueDepth int `json:"queueDepth"`
+	// InFlight counts evaluation requests executing right now, whoever
+	// submitted them.
+	InFlight int `json:"inFlight"`
+	// Peers is the size of the daemon's own backend fleet (0 for a plain
+	// worker).
+	Peers int `json:"peers"`
+}
+
 // httpBackend executes job batches against one remote prophetd instance.
 // want is the coordinator's engine configuration; replies simulated under
-// anything else are treated as backend failures.
+// anything else are treated as backend failures. fp is the coordinator's
+// engine fingerprint, checked against the peer's /v1/health report before
+// load-driven scheduling trusts it.
 type httpBackend struct {
 	base   string // URL prefix without trailing slash
 	client *http.Client
 	want   Options
+	fp     string
 }
 
 func (b *httpBackend) Name() string { return b.base }
+
+// Probe implements dispatch.Prober over GET /v1/health, so load-driven
+// schedulers see the peer's queue depth and in-flight work. A fingerprint
+// mismatch is a probe failure: the peer would fail config enforcement at
+// batch time anyway, so the scheduler deprioritizes it up front.
+func (b *httpBackend) Probe(ctx context.Context) (dispatch.Load, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/health", nil)
+	if err != nil {
+		return dispatch.Load{}, fmt.Errorf("prophet: backend %s: %w", b.base, err)
+	}
+	resp, err := b.client.Do(hreq)
+	if err != nil {
+		return dispatch.Load{}, fmt.Errorf("prophet: backend %s: %w", b.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dispatch.Load{}, fmt.Errorf("prophet: backend %s: health HTTP %d", b.base, resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return dispatch.Load{}, fmt.Errorf("prophet: backend %s: decode health: %w", b.base, err)
+	}
+	if b.fp != "" && h.Engine != b.fp {
+		return dispatch.Load{}, fmt.Errorf("prophet: backend %s: engine fingerprint mismatch (backend %q, coordinator %q)",
+			b.base, h.Engine, b.fp)
+	}
+	return dispatch.Load{QueueDepth: h.QueueDepth, InFlight: h.InFlight}, nil
+}
 
 func (b *httpBackend) Execute(ctx context.Context, jobs []Job) ([]Result, error) {
 	req := BatchRequest{Jobs: make([]BatchJob, len(jobs))}
@@ -153,6 +209,13 @@ type DispatchStats struct {
 	// Cached counts jobs answered from the durable result store before
 	// dispatch (zero unless WithResultStore is configured).
 	Cached int64 `json:"cached"`
+	// ShortLocal counts result slots the local engine left unfilled by
+	// returning fewer results than jobs — should stay zero; nonzero means
+	// zero-valued rows were merged.
+	ShortLocal int64 `json:"shortLocal"`
+	// Stolen counts chunks executed by a backend other than their hash
+	// owner (work stealing, or reassignment after a peer left the fleet).
+	Stolen int64 `json:"stolen"`
 }
 
 // shardKey is the deterministic hash input for backend assignment: the
@@ -172,21 +235,52 @@ func shardKey(j Job) string {
 // daemons cannot read.
 func pinnedLocal(j Job) bool { return externalPath(j.Workload.Name) != "" }
 
-// newDispatcher wires the evaluator's backend ring. Called from New after
-// the local engine exists (the dispatcher's failover closes over it).
+// newHTTPBackend builds the dispatch backend for one peer base URL.
+func (e *Evaluator) newHTTPBackend(base string) *httpBackend {
+	return &httpBackend{base: base, client: e.backendClient, want: e.opts, fp: e.StoreFingerprint()}
+}
+
+// AddBackend joins a prophetd peer to the sweep fleet at runtime, effective
+// from the next scheduling round of any in-flight sweep. URLs are
+// normalized (trailing slash dropped); it reports false for an empty URL or
+// a peer already in the fleet.
+func (e *Evaluator) AddBackend(url string) bool {
+	base := strings.TrimRight(url, "/")
+	if base == "" {
+		return false
+	}
+	return e.disp.Add(e.newHTTPBackend(base))
+}
+
+// RemoveBackend drains a peer from the sweep fleet: it stops receiving new
+// chunks immediately, and batches it was still retrying fail over to the
+// local engine, so no job is lost or duplicated. It reports false when the
+// peer is not in the fleet.
+func (e *Evaluator) RemoveBackend(url string) bool {
+	return e.disp.Remove(strings.TrimRight(url, "/"))
+}
+
+// newDispatcher wires the evaluator's fleet coordinator. Called from New
+// after the local engine exists (the dispatcher's failover closes over it);
+// the dispatcher always exists so peers can join an initially empty fleet.
 func (e *Evaluator) newDispatcher() *dispatch.Dispatcher[Job, Result] {
-	client := e.backendClient
-	if client == nil {
+	if e.backendClient == nil {
 		// No client-level timeout: simulations legitimately run long.
 		// Callers bound sweeps with the context.
-		client = &http.Client{}
+		e.backendClient = &http.Client{}
+	}
+	sched, err := dispatch.SchedulerByName(e.scheduler)
+	if err != nil {
+		panic("prophet: " + err.Error())
 	}
 	ring := make([]dispatch.Backend[Job, Result], len(e.backendURLs))
 	for i, u := range e.backendURLs {
-		ring[i] = &httpBackend{base: strings.TrimRight(u, "/"), client: client, want: e.opts}
+		ring[i] = e.newHTTPBackend(strings.TrimRight(u, "/"))
 	}
 	return dispatch.New(dispatch.Config[Job, Result]{
-		Backends: ring,
+		Backends:  ring,
+		Scheduler: sched,
+		Logf:      e.logf,
 		Local: func(ctx context.Context, jobs []Job) []Result {
 			rs, _ := e.sweepLocal(ctx, jobs...)
 			return rs

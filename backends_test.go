@@ -15,6 +15,7 @@ import (
 	"os"
 	"reflect"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -296,6 +297,128 @@ func TestShardedExperimentsMatchLocal(t *testing.T) {
 	}
 }
 
+// Every scheduling strategy must produce byte-identical merged results:
+// the scheduler chooses placement, never content or order.
+func TestSweepByteIdenticalAcrossSchedulers(t *testing.T) {
+	jobs := sweepJobs(t)
+	local := prophet.New(prophet.WithWorkers(2))
+	want, err := local.Sweep(context.Background(), jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w1, w2 := startWorker(t), startWorker(t)
+	for _, sched := range prophet.Schedulers() {
+		t.Run(sched, func(t *testing.T) {
+			coord := prophet.New(
+				prophet.WithBackends(w1, w2),
+				prophet.WithScheduler(sched),
+				prophet.WithBackendMaxBatch(2),
+				prophet.WithWorkers(2),
+			)
+			got, err := coord.Sweep(context.Background(), jobs...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSweepsEqual(t, got, want)
+			st := coord.DispatchStats()
+			if st.Remote != int64(len(jobs)) || st.Failovers != 0 {
+				t.Fatalf("dispatch stats %+v: want all %d jobs remote under %s", st, len(jobs), sched)
+			}
+		})
+	}
+}
+
+// SweepStream against a fleet: every job index is emitted exactly once, and
+// the rows merged by index reproduce the buffered sweep byte-for-byte.
+func TestSweepStreamMergesToBuffered(t *testing.T) {
+	jobs := sweepJobs(t)
+	local := prophet.New(prophet.WithWorkers(2))
+	want, err := local.Sweep(context.Background(), jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := prophet.New(
+		prophet.WithBackends(startWorker(t), startWorker(t)),
+		prophet.WithScheduler("least-loaded"),
+		prophet.WithBackendMaxBatch(2),
+		prophet.WithWorkers(2),
+	)
+	merged := make([]prophet.Result, len(jobs))
+	seen := make([]int, len(jobs))
+	var mu sync.Mutex
+	err = coord.SweepStream(context.Background(), func(i int, r prophet.Result) {
+		mu.Lock()
+		seen[i]++
+		merged[i] = r
+		mu.Unlock()
+	}, jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d emitted %d times, want exactly once", i, n)
+		}
+	}
+	assertSweepsEqual(t, merged, want)
+}
+
+// Elastic membership through the public API: backends joined mid-lifetime
+// take work, drained backends stop taking it, and the sweep stays
+// byte-identical throughout.
+func TestElasticBackendMembership(t *testing.T) {
+	jobs := sweepJobs(t)
+	local := prophet.New(prophet.WithWorkers(2))
+	want, err := local.Sweep(context.Background(), jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := prophet.New(prophet.WithWorkers(2)) // starts with no fleet
+	if got, err := coord.Sweep(context.Background(), jobs...); err != nil {
+		t.Fatal(err)
+	} else {
+		assertSweepsEqual(t, got, want)
+	}
+
+	u := startWorker(t)
+	if !coord.AddBackend(u) {
+		t.Fatal("AddBackend rejected a new worker")
+	}
+	if coord.AddBackend(u) {
+		t.Fatal("AddBackend accepted a duplicate")
+	}
+	got, err := coord.Sweep(context.Background(), jobs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSweepsEqual(t, got, want)
+	if st := coord.DispatchStats(); st.Remote == 0 {
+		t.Fatalf("dispatch stats %+v: joined worker never took a job", st)
+	}
+
+	if !coord.RemoveBackend(u) {
+		t.Fatal("RemoveBackend missed a known worker")
+	}
+	if coord.RemoveBackend(u) {
+		t.Fatal("RemoveBackend removed a worker twice")
+	}
+	if bs := coord.Backends(); len(bs) != 0 {
+		t.Fatalf("backends after drain: %v", bs)
+	}
+	before := coord.DispatchStats().Remote
+	if got, err := coord.Sweep(context.Background(), jobs...); err != nil {
+		t.Fatal(err)
+	} else {
+		assertSweepsEqual(t, got, want)
+	}
+	if after := coord.DispatchStats().Remote; after != before {
+		t.Fatalf("drained fleet still ran jobs remotely (%d -> %d)", before, after)
+	}
+}
+
 // TestShardedSweepLiveBackends is the CI fleet check: it shards a sweep
 // across real prophetd processes (started by the workflow) and demands
 // byte-identical results to the in-process sweep. Skipped unless
@@ -359,4 +482,31 @@ func TestShardedSweepLiveBackends(t *testing.T) {
 		t.Fatalf("dispatch stats %+v: want %d external jobs pinned local and %d catalog jobs remote",
 			st, extJobs, len(jobs))
 	}
+
+	// The same fleet under the least-loaded scheduler with streamed
+	// delivery: health probes drive placement, rows arrive in completion
+	// order, and the index-merged results are still byte-identical.
+	coord3 := prophet.New(
+		prophet.WithBackends(urls...),
+		prophet.WithScheduler("least-loaded"),
+		prophet.WithBackendMaxBatch(2),
+		prophet.WithWorkers(2),
+	)
+	merged := make([]prophet.Result, len(jobs))
+	seen := make([]int, len(jobs))
+	var mu sync.Mutex
+	if err := coord3.SweepStream(context.Background(), func(i int, r prophet.Result) {
+		mu.Lock()
+		seen[i]++
+		merged[i] = r
+		mu.Unlock()
+	}, jobs...); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("live stream emitted index %d %d times, want exactly once", i, n)
+		}
+	}
+	assertSweepsEqual(t, merged, want)
 }

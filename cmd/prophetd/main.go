@@ -13,6 +13,8 @@
 //	prophetd -cache-ttl 1h -queue 128
 //	prophetd -store results.prst              # durable result store
 //	prophetd -peers http://w1:8373,http://w2:8373   # coordinate a fleet
+//	prophetd -scheduler least-loaded -peer-ttl 15s  # load-aware coordinator
+//	prophetd -join http://coord:8373 -advertise http://w3:8373  # elastic worker
 //	prophetd -profile-dir profiles            # persist CPU captures
 //	prophetd -profile-dir profiles -capture-on-shutdown
 //	prophetd -version
@@ -28,11 +30,20 @@
 // recently used entries are compacted away.
 //
 // With -peers the daemon becomes a fleet coordinator: incoming sweeps are
-// sharded across the peer daemons by workload+scheme hash (one batched
-// POST /v1/batch per peer), with retries and failover to the local engine,
-// and the merged results are byte-identical to a standalone run. Peers
-// execute batches on their own engines only — fan-out never cascades — so
-// a peer list must name other daemons, not the daemon itself.
+// chunked and granted across the peer daemons by the -scheduler strategy
+// (workload+scheme hash with work stealing, or least-loaded driven by
+// GET /v1/health probes), with retries, jittered backoff, and failover to
+// the local engine, and the merged results are byte-identical to a
+// standalone run whatever the strategy. Peers execute batches on their own
+// engines only — fan-out never cascades — so a peer list must name other
+// daemons, not the daemon itself.
+//
+// The fleet is elastic: workers POST /v1/peers to join a coordinator at
+// runtime and are expired after -peer-ttl without a heartbeat. A worker
+// started with -join (plus -advertise, its own base URL as the coordinator
+// reaches it) heartbeats each listed coordinator every -join-interval and
+// sends a DELETE /v1/peers drain on graceful shutdown, so workers can be
+// added or removed mid-run without restarting the coordinator.
 //
 // The daemon is also its own profiling subject (the PGO loop in
 // docs/PROFILING.md). /debug/pprof/* serves the standard ad-hoc profiles,
@@ -56,6 +67,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strings"
@@ -87,6 +99,11 @@ func main() {
 	storeMax := flag.Int64("store-max-bytes", 256<<20, "result store size cap before LRU compaction (0 = unbounded)")
 	peers := flag.String("peers", "", "comma-separated peer prophetd base URLs to shard sweeps across (coordinator mode)")
 	peerRetries := flag.Int("peer-retries", 2, "batch attempts per peer before failing over to the local engine")
+	scheduler := flag.String("scheduler", "hash", "fleet scheduling strategy: "+strings.Join(prophet.Schedulers(), ", "))
+	peerTTL := flag.Duration("peer-ttl", 15*time.Second, "drain dynamic peers after this long without a heartbeat")
+	join := flag.String("join", "", "comma-separated coordinator base URLs to join as a worker (requires -advertise)")
+	advertise := flag.String("advertise", "", "this daemon's base URL as coordinators reach it (e.g. http://host:8373)")
+	joinInterval := flag.Duration("join-interval", 5*time.Second, "heartbeat interval for -join (keep well inside the coordinator's -peer-ttl)")
 	profileDir := flag.String("profile-dir", "", "persist CPU captures (POST /v1/profile, SIGUSR1, shutdown) as .pprof files here")
 	captureOnShutdown := flag.Bool("capture-on-shutdown", false, "profile the daemon's whole lifetime, emitted at shutdown (requires -profile-dir)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
@@ -96,6 +113,14 @@ func main() {
 	if *version {
 		fmt.Println("prophetd", prophet.Version())
 		return
+	}
+
+	if !prophet.ValidScheduler(*scheduler) {
+		log.Fatalf("unknown -scheduler %q (choose from %s)", *scheduler, strings.Join(prophet.Schedulers(), ", "))
+	}
+	joinList := cliutil.SplitList(*join)
+	if len(joinList) > 0 && *advertise == "" {
+		log.Fatal("-join requires -advertise (the URL coordinators dial back)")
 	}
 
 	evOpts := []prophet.Option{
@@ -108,11 +133,12 @@ func main() {
 	}
 	peerList := cliutil.SplitList(*peers)
 	if len(peerList) > 0 {
-		evOpts = append(evOpts,
-			prophet.WithBackends(peerList...),
-			prophet.WithBackendRetries(*peerRetries),
-		)
+		evOpts = append(evOpts, prophet.WithBackends(peerList...))
 	}
+	evOpts = append(evOpts,
+		prophet.WithBackendRetries(*peerRetries),
+		prophet.WithScheduler(*scheduler),
+	)
 	ev := prophet.New(evOpts...)
 	var store *resultstore.Store
 	if *storePath != "" {
@@ -148,6 +174,8 @@ func main() {
 		JobRetention: *jobRetention,
 		Store:        store,
 		Capturer:     capt,
+		PeerTTL:      *peerTTL,
+		Logf:         log.Printf,
 	})
 	httpSrv := &http.Server{
 		Addr:    *addr,
@@ -170,10 +198,15 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("prophetd %s listening on %s (%d sweep workers, %d job workers, queue %d)",
-		prophet.Version(), *addr, ev.Workers(), *jobWorkers, *queueDepth)
+	log.Printf("prophetd %s listening on %s (%d sweep workers, %d job workers, queue %d, scheduler %s)",
+		prophet.Version(), *addr, ev.Workers(), *jobWorkers, *queueDepth, ev.SchedulerName())
 	if len(peerList) > 0 {
-		log.Printf("coordinating sweeps across %d peers: %s", len(peerList), strings.Join(peerList, ", "))
+		log.Printf("coordinating sweeps across %d peers: %s (peer ttl %s)", len(peerList), strings.Join(peerList, ", "), *peerTTL)
+	}
+	if len(joinList) > 0 {
+		log.Printf("joining %d coordinators as %s (heartbeat every %s): %s",
+			len(joinList), *advertise, *joinInterval, strings.Join(joinList, ", "))
+		go heartbeatLoop(ctx, joinList, *advertise, *joinInterval)
 	}
 
 	select {
@@ -185,6 +218,9 @@ func main() {
 	log.Printf("shutting down (draining up to %s)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Drain from every coordinator first so no new chunks are granted to a
+	// daemon that is about to stop serving them.
+	leaveFleet(shutdownCtx, joinList, *advertise)
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
@@ -199,4 +235,73 @@ func main() {
 		log.Printf("shutdown capture %q persisted to %s (%d bytes)", cap.Name, cap.Path, len(cap.Data))
 	}
 	log.Printf("bye")
+}
+
+// heartbeatLoop keeps this daemon registered with each coordinator: an
+// immediate join POST, then one per interval. Failures are logged and
+// retried on the next beat — a coordinator restart just re-learns the
+// worker within one interval.
+func heartbeatLoop(ctx context.Context, coordinators []string, advertise string, interval time.Duration) {
+	client := &http.Client{Timeout: interval}
+	beat := func() {
+		for _, c := range coordinators {
+			if err := postJoin(ctx, client, c, advertise); err != nil && ctx.Err() == nil {
+				log.Printf("heartbeat to %s: %v", c, err)
+			}
+		}
+	}
+	beat()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			beat()
+		}
+	}
+}
+
+// postJoin sends one POST /v1/peers registration/heartbeat.
+func postJoin(ctx context.Context, client *http.Client, coordinator, advertise string) error {
+	body := fmt.Sprintf(`{"url":%q}`, advertise)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(coordinator, "/")+"/v1/peers", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}
+
+// leaveFleet sends a best-effort DELETE /v1/peers drain to each coordinator
+// so this daemon stops receiving chunks before its listener closes.
+func leaveFleet(ctx context.Context, coordinators []string, advertise string) {
+	if len(coordinators) == 0 {
+		return
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, c := range coordinators {
+		u := strings.TrimRight(c, "/") + "/v1/peers?url=" + url.QueryEscape(advertise)
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, u, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			log.Printf("drain from %s: %v", c, err)
+			continue
+		}
+		resp.Body.Close()
+		log.Printf("drained from coordinator %s", c)
+	}
 }

@@ -3,6 +3,7 @@ package prophet
 import (
 	"context"
 	"fmt"
+	"log"
 	"net/http"
 
 	"prophet/internal/dispatch"
@@ -28,6 +29,8 @@ type Evaluator struct {
 	backendClient   *http.Client
 	backendRetries  int
 	backendMaxBatch int
+	scheduler       string
+	logf            func(format string, args ...any)
 
 	// store is the optional durable result tier (WithResultStore): jobs
 	// whose results are stored are answered from disk instead of being
@@ -115,6 +118,34 @@ func WithBackendMaxBatch(n int) Option {
 	return func(e *Evaluator) { e.backendMaxBatch = n }
 }
 
+// WithScheduler selects the fleet scheduling strategy by name (see
+// Schedulers): "hash" (the default) places chunks deterministically by
+// workload+scheme affinity with idle-peer work stealing; "least-loaded"
+// probes each peer's GET /v1/health and routes chunks to the least busy
+// one — better for heterogeneous fleets, identical merged output either
+// way. New panics on an unknown name; CLIs should validate against
+// Schedulers() first.
+func WithScheduler(name string) Option {
+	return func(e *Evaluator) { e.scheduler = name }
+}
+
+// Schedulers lists the strategy names WithScheduler accepts.
+func Schedulers() []string { return dispatch.Schedulers() }
+
+// ValidScheduler reports whether name resolves to a fleet scheduling
+// strategy ("" counts: it means the default).
+func ValidScheduler(name string) bool {
+	_, err := dispatch.SchedulerByName(name)
+	return err == nil
+}
+
+// WithLogf routes the evaluator's operational warnings (failed health
+// probes, short engine returns) to a custom sink (default: the standard
+// library logger).
+func WithLogf(f func(format string, args ...any)) Option {
+	return func(e *Evaluator) { e.logf = f }
+}
+
 // New constructs an Evaluator from the paper's default configuration plus
 // the given options.
 func New(opts ...Option) *Evaluator {
@@ -133,26 +164,42 @@ func New(opts ...Option) *Evaluator {
 		cfg.Sim.L1PF = sim.L1None
 	}
 	e.eng = pipeline.NewEvaluator(cfg, e.workers)
-	if len(e.backendURLs) > 0 {
-		e.disp = e.newDispatcher()
+	if e.logf == nil {
+		e.logf = log.Printf
 	}
+	// The coordinator always exists, even with an empty initial fleet, so
+	// peers can join at runtime (AddBackend / prophetd's POST /v1/peers).
+	e.disp = e.newDispatcher()
 	return e
 }
 
-// Backends reports the configured remote backend URLs (nil when sweeps run
-// purely in process).
+// Backends reports the live fleet's peer base URLs in join order (nil when
+// sweeps run purely in process). Unlike the WithBackends list, this tracks
+// runtime joins and drains.
 func (e *Evaluator) Backends() []string {
-	return append([]string(nil), e.backendURLs...)
+	ps := e.disp.Peers()
+	if len(ps) == 0 {
+		return nil
+	}
+	return ps
 }
 
-// DispatchStats reports cumulative sweep-dispatch counters; all zeros when
-// no backends are configured.
+// SchedulerName reports the fleet scheduling strategy in use.
+func (e *Evaluator) SchedulerName() string { return e.disp.SchedulerName() }
+
+// DispatchStats reports cumulative sweep-dispatch counters; all zeros until
+// a sweep is dispatched over at least one backend.
 func (e *Evaluator) DispatchStats() DispatchStats {
-	if e.disp == nil {
-		return DispatchStats{}
-	}
 	st := e.disp.Stats()
-	return DispatchStats{Remote: st.Remote, Local: st.Local, Retries: st.Retries, Failovers: st.Failovers, Cached: st.Cached}
+	return DispatchStats{
+		Remote:     st.Remote,
+		Local:      st.Local,
+		Retries:    st.Retries,
+		Failovers:  st.Failovers,
+		Cached:     st.Cached,
+		ShortLocal: st.ShortLocal,
+		Stolen:     st.Stolen,
+	}
 }
 
 // Workers reports the sweep pool width actually in use.
@@ -255,15 +302,59 @@ func (e *Evaluator) RunJob(ctx context.Context, j Job) (Report, error) {
 // times. Cancelling the context aborts the sweep promptly — jobs not yet
 // started report the context error — and Sweep returns that error.
 //
-// With remote backends configured (WithBackends), the sweep is instead
-// sharded across the fleet: jobs are batched per backend, failed backends
-// fail over to the local engine, and the merged results are byte-identical
-// to an in-process sweep of the same jobs.
+// With at least one live backend (WithBackends, or a runtime AddBackend /
+// peer join), the sweep is instead coordinated across the fleet: jobs are
+// chunked and placed by the configured scheduler, failed backends fail
+// over to the local engine, and the merged results are byte-identical to
+// an in-process sweep of the same jobs.
 func (e *Evaluator) Sweep(ctx context.Context, jobs ...Job) ([]Result, error) {
-	if e.disp != nil {
+	if e.disp.NumPeers() > 0 {
 		return e.disp.Dispatch(ctx, jobs), ctx.Err()
 	}
 	return e.sweepLocal(ctx, jobs...)
+}
+
+// SweepStream is Sweep with incremental delivery: emit is called exactly
+// once per job — identified by the job's index — as results become
+// available, in completion order rather than job order (callers that need
+// ordered output merge by index; the full index set is always covered).
+// Calls to emit are serialized. Results are identical to Sweep's: the
+// streamed rows, merged by index, reproduce the buffered sweep
+// byte-for-byte.
+//
+// With live backends the fleet coordinator streams chunk completions;
+// without, jobs run through the local engine in bounded chunks so progress
+// still renders incrementally.
+func (e *Evaluator) SweepStream(ctx context.Context, emit func(i int, r Result), jobs ...Job) error {
+	if e.disp.NumPeers() > 0 {
+		e.disp.DispatchFunc(ctx, jobs, emit)
+		return ctx.Err()
+	}
+	chunk := e.backendMaxBatch
+	if chunk <= 0 {
+		chunk = e.Workers()
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	var firstErr error
+	for start := 0; start < len(jobs); start += chunk {
+		end := start + chunk
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		// A failed chunk (context cancellation) still emits its rows — the
+		// engine stamps the per-job errors — so every index is covered and
+		// the stream mirrors what a buffered sweep would have returned.
+		rs, err := e.sweepLocal(ctx, jobs[start:end]...)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for k, r := range rs {
+			emit(start+k, r)
+		}
+	}
+	return firstErr
 }
 
 // SweepLocal is Sweep restricted to the in-process engine, ignoring any

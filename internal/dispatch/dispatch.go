@@ -1,10 +1,18 @@
-// Package dispatch implements horizontal sharding of sweep work across
-// multiple backends: jobs are assigned to backends by a deterministic hash
-// of a caller-provided shard key, batched per backend to amortize
-// round-trips, retried with exponential backoff on backend failure, and
-// failed over to an infallible local runner when a backend stays down — all
-// while preserving the caller's job order, so the merged result is
-// byte-identical to a single-backend run of the same deterministic jobs.
+// Package dispatch implements a work-queue coordinator that fans sweep work
+// out across a fleet of backends: jobs are grouped into bounded chunks,
+// placed onto live backends by a pluggable Scheduler (deterministic hash
+// affinity, or least-loaded fed by health probes), retried with jittered
+// exponential backoff on backend failure, and failed over to an infallible
+// local runner when a backend stays down — all while preserving the
+// caller's job order, so the merged result is byte-identical to a
+// single-backend run of the same deterministic jobs.
+//
+// Fleet membership is dynamic: Add and Remove join and drain backends while
+// dispatches are in flight. A removed backend stops receiving chunks at the
+// next grant round and its in-flight retries are abandoned to local
+// failover, so no job is ever lost or duplicated by churn. DispatchFunc
+// additionally streams results as chunks complete, for callers that render
+// a sweep progressively instead of waiting for the full merge.
 //
 // The package is generic over job and result types and knows nothing about
 // HTTP or simulation: the prophet package instantiates it with
@@ -17,6 +25,7 @@ package dispatch
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,7 +35,8 @@ import (
 // must return exactly one result per job, in job order; any error (or a
 // length mismatch) marks the whole batch as failed and triggers retry and
 // eventually failover. Execute must be safe for concurrent use: one
-// dispatch may issue several chunks to the same backend at once.
+// dispatch may issue several chunks to the same backend at once. A backend
+// that also implements Prober reports live load to load-driven schedulers.
 type Backend[J, R any] interface {
 	// Name identifies the backend in errors and logs (typically its URL).
 	Name() string
@@ -36,27 +46,36 @@ type Backend[J, R any] interface {
 
 // Config assembles a Dispatcher.
 type Config[J, R any] struct {
-	// Backends is the shard ring. Empty means every job runs locally.
+	// Backends is the initial fleet. Empty means every job runs locally
+	// until peers join via Add.
 	Backends []Backend[J, R]
 	// Local runs a batch in process, returning one result per job, in
 	// order. It is the failover target and must not fail (job-level errors
 	// belong inside R). Required.
 	Local func(ctx context.Context, jobs []J) []R
-	// Key returns the job's shard key; equal keys always land on the same
-	// backend (for a fixed ring). Required.
+	// Key returns the job's shard key; under an affinity scheduler, equal
+	// keys always land on the same backend (for a fixed fleet). Required.
 	Key func(J) string
-	// Pin reports jobs that must run locally regardless of the ring (e.g.
+	// Pin reports jobs that must run locally regardless of the fleet (e.g.
 	// workloads referencing local files a remote cannot read). Optional.
 	Pin func(J) bool
+	// Scheduler places queued chunks onto live backends (default Hash).
+	Scheduler Scheduler
 	// Retries is the number of attempts per batch per backend before
 	// failing over (default 2 — one try plus one retry).
 	Retries int
-	// Backoff is the delay before the first retry, doubling per attempt
-	// (default 25ms).
+	// Backoff is the base delay before the first retry, doubling per
+	// attempt with full jitter (default 25ms).
 	Backoff time.Duration
 	// MaxBatch caps jobs per Execute call; larger shards are split into
-	// consecutive chunks issued concurrently (0 = unlimited).
+	// consecutive chunks (0 = unlimited).
 	MaxBatch int
+	// MaxInFlight caps the chunks a single backend executes concurrently,
+	// across all Dispatch calls (default 4).
+	MaxInFlight int
+	// ProbeTimeout bounds each health probe issued for a load-driven
+	// scheduler (default 1s).
+	ProbeTimeout time.Duration
 	// CacheGet consults a shared result tier (e.g. a durable result store)
 	// before dispatch; a hit answers the job without touching backends or
 	// the local runner. Optional.
@@ -67,9 +86,14 @@ type Config[J, R any] struct {
 	// runner is the caller's own engine, which writes through on its own.
 	// Optional.
 	CachePut func(J, R)
+	// Logf receives operational warnings (probe failures, short local
+	// returns). Optional; nil discards them.
+	Logf func(format string, args ...any)
 
 	// sleep overrides the inter-retry wait in tests.
 	sleep func(ctx context.Context, d time.Duration)
+	// jitter overrides retry backoff jitter in tests.
+	jitter func(d time.Duration) time.Duration
 }
 
 // Stats is a point-in-time snapshot of dispatcher activity.
@@ -82,18 +106,40 @@ type Stats struct {
 	// Retries counts batch retry attempts (not jobs).
 	Retries int64
 	// Failovers counts jobs re-run locally after a backend's retries were
-	// exhausted.
+	// exhausted (or abandoned by cancellation or peer removal).
 	Failovers int64
 	// Cached counts jobs answered by CacheGet without any execution.
 	Cached int64
+	// ShortLocal counts result slots the local runner left unfilled by
+	// returning fewer results than jobs — merged zeros that would
+	// otherwise pass silently.
+	ShortLocal int64
+	// Stolen counts chunks executed by a backend other than their hash
+	// owner (work stealing, or rehash after the owner left the fleet).
+	Stolen int64
 }
 
-// Dispatcher fans job lists out over a fixed backend ring. It is safe for
-// concurrent use; each Dispatch call merges its own results.
+// Dispatcher coordinates job lists over a dynamic backend fleet. It is
+// safe for concurrent use; each Dispatch call merges its own results while
+// sharing the fleet, its capacity accounting, and the counters.
 type Dispatcher[J, R any] struct {
 	cfg Config[J, R]
 
-	remote, local, retries, failovers, cached atomic.Int64
+	mu    sync.Mutex
+	cond  *sync.Cond
+	peers []*peer[J, R] // live fleet, in join order
+
+	remote, local, retries, failovers, cached, shortLocal, stolen atomic.Int64
+}
+
+// peer wraps a live backend with the coordinator's accounting: chunks in
+// flight (capacity), the drain flag, and the last health probe.
+type peer[J, R any] struct {
+	b        Backend[J, R]
+	inflight atomic.Int64
+	gone     atomic.Bool          // set by Remove: abandon retries, fail over
+	load     atomic.Pointer[Load] // last successful probe, nil when unknown
+	sick     atomic.Bool          // last probe failed
 }
 
 // New validates cfg and builds a Dispatcher. Local and Key are required.
@@ -104,78 +150,219 @@ func New[J, R any](cfg Config[J, R]) *Dispatcher[J, R] {
 	if cfg.Key == nil {
 		panic("dispatch: Config.Key is required")
 	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = Hash()
+	}
 	if cfg.Retries <= 0 {
 		cfg.Retries = 2
 	}
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 25 * time.Millisecond
 	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
 	if cfg.sleep == nil {
 		cfg.sleep = sleepCtx
 	}
-	return &Dispatcher[J, R]{cfg: cfg}
+	if cfg.jitter == nil {
+		cfg.jitter = fullJitter
+	}
+	d := &Dispatcher[J, R]{cfg: cfg}
+	d.cond = sync.NewCond(&d.mu)
+	for _, b := range cfg.Backends {
+		d.peers = append(d.peers, &peer[J, R]{b: b})
+	}
+	return d
 }
 
 // Stats reports cumulative dispatcher counters.
 func (d *Dispatcher[J, R]) Stats() Stats {
 	return Stats{
-		Remote:    d.remote.Load(),
-		Local:     d.local.Load(),
-		Retries:   d.retries.Load(),
-		Failovers: d.failovers.Load(),
-		Cached:    d.cached.Load(),
+		Remote:     d.remote.Load(),
+		Local:      d.local.Load(),
+		Retries:    d.retries.Load(),
+		Failovers:  d.failovers.Load(),
+		Cached:     d.cached.Load(),
+		ShortLocal: d.shortLocal.Load(),
+		Stolen:     d.stolen.Load(),
 	}
 }
 
-// Dispatch shards jobs over the ring, executes the per-backend batches
-// concurrently, and returns one result per job in the original job order.
-// Backend failures degrade to the local runner; Dispatch itself never
-// fails. Cancelling ctx short-circuits retries — outstanding batches fall
-// through to the local runner, which is expected to surface the context
-// error in its per-job results.
+// SchedulerName reports the placement strategy in use.
+func (d *Dispatcher[J, R]) SchedulerName() string { return d.cfg.Scheduler.Name() }
+
+// Add joins a backend to the live fleet, effective from the next grant
+// round of every in-flight dispatch. It reports false (and does nothing)
+// when a backend with the same name is already present.
+func (d *Dispatcher[J, R]) Add(b Backend[J, R]) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, p := range d.peers {
+		if p.b.Name() == b.Name() {
+			return false
+		}
+	}
+	d.peers = append(d.peers, &peer[J, R]{b: b})
+	d.cond.Broadcast() // idle dispatches may have work for the newcomer
+	return true
+}
+
+// Remove drains the named backend: it stops receiving chunks immediately,
+// and chunks it is still retrying abandon the backend and fail over to the
+// local runner, so no job is lost or duplicated. It reports false when the
+// backend is not in the fleet.
+func (d *Dispatcher[J, R]) Remove(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, p := range d.peers {
+		if p.b.Name() == name {
+			p.gone.Store(true)
+			d.peers = append(d.peers[:i], d.peers[i+1:]...)
+			d.cond.Broadcast()
+			return true
+		}
+	}
+	return false
+}
+
+// Peers lists the live fleet's backend names in join order.
+func (d *Dispatcher[J, R]) Peers() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.peers))
+	for i, p := range d.peers {
+		out[i] = p.b.Name()
+	}
+	return out
+}
+
+// NumPeers reports the live fleet size.
+func (d *Dispatcher[J, R]) NumPeers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.peers)
+}
+
+// chunk is one schedulable unit of work: a bounded, ascending index list
+// into the dispatch's job slice.
+type chunk struct {
+	idx   []int
+	key   string // shard key of the first job
+	owner string // hash-affinity backend name; "" under load-driven placement
+}
+
+// runState is the per-Dispatch bookkeeping shared by the grant loop and
+// its chunk goroutines. pending and active are guarded by Dispatcher.mu.
+type runState[J, R any] struct {
+	jobs    []J
+	out     []R
+	pending []chunk
+	active  int
+
+	emitMu sync.Mutex
+	emitFn func(i int, r R)
+}
+
+// emit streams the results at idx to the caller's sink, serialized so
+// concurrent chunk completions never interleave rows.
+func (r *runState[J, R]) emit(idx []int) {
+	if r.emitFn == nil {
+		return
+	}
+	r.emitMu.Lock()
+	defer r.emitMu.Unlock()
+	for _, i := range idx {
+		r.emitFn(i, r.out[i])
+	}
+}
+
+// Dispatch distributes jobs over the live fleet, executes the chunks
+// concurrently as the scheduler grants capacity, and returns one result
+// per job in the original job order. Backend failures degrade to the local
+// runner; Dispatch itself never fails. Cancelling ctx short-circuits
+// retries and grants — outstanding chunks fall through to the local
+// runner, which is expected to surface the context error in its per-job
+// results.
 //
 // With CacheGet configured, every job is offered to the shared result tier
 // first: hits are merged straight into the output and only the remainder
-// is sharded, so a warm cache dispatches nothing at all.
+// is scheduled, so a warm cache dispatches nothing at all.
 func (d *Dispatcher[J, R]) Dispatch(ctx context.Context, jobs []J) []R {
+	return d.dispatch(ctx, jobs, nil)
+}
+
+// DispatchFunc is Dispatch with incremental delivery: emit is called once
+// per job — identified by its index into jobs — as results become
+// available (cache hits first, then chunk by chunk as execution
+// completes). Calls to emit are serialized but arrive in chunk-completion
+// order, not job order; callers that need ordered output merge by index.
+// The fully merged slice is still returned, identical to Dispatch's.
+func (d *Dispatcher[J, R]) DispatchFunc(ctx context.Context, jobs []J, emit func(i int, r R)) []R {
+	return d.dispatch(ctx, jobs, emit)
+}
+
+func (d *Dispatcher[J, R]) dispatch(ctx context.Context, jobs []J, emit func(i int, r R)) []R {
 	out := make([]R, len(jobs))
 	if len(jobs) == 0 {
 		return out
 	}
+	run := &runState[J, R]{jobs: jobs, out: out, emitFn: emit}
+
 	// pending lists the job indexes still needing execution; nil means all.
 	var pending []int
 	if d.cfg.CacheGet != nil {
 		pending = make([]int, 0, len(jobs))
+		var hits []int
 		for i, j := range jobs {
 			if r, ok := d.cfg.CacheGet(j); ok {
 				out[i] = r
+				hits = append(hits, i)
 				continue
 			}
 			pending = append(pending, i)
 		}
-		d.cached.Add(int64(len(jobs) - len(pending)))
+		d.cached.Add(int64(len(hits)))
+		run.emit(hits)
 		if len(pending) == 0 {
 			return out
 		}
 	}
-	if len(d.cfg.Backends) == 0 {
-		d.runLocal(ctx, jobs, pending, out)
+
+	d.mu.Lock()
+	fleet := append([]*peer[J, R](nil), d.peers...)
+	d.mu.Unlock()
+
+	if len(fleet) == 0 {
+		if emit == nil {
+			d.runLocal(ctx, jobs, pending, out)
+			return out
+		}
+		// Streaming without a fleet: run chunk by chunk so the caller
+		// still sees progressive results.
+		if pending == nil {
+			pending = allIndexes(len(jobs))
+		}
+		for _, c := range chunkIndexes(pending, d.cfg.MaxBatch) {
+			d.runLocal(ctx, jobs, c, out)
+			run.emit(c)
+		}
 		return out
 	}
 
-	// Assignment: hash of the shard key picks the backend; pinned jobs
-	// form one extra local batch. Index lists stay in ascending job order,
-	// so each batch preserves the caller's relative ordering.
-	shards := make([][]int, len(d.cfg.Backends))
-	var pinned []int
+	// Split off pinned jobs, then group the remainder into chunks the
+	// scheduler will place. Index lists stay in ascending job order, so
+	// each chunk preserves the caller's relative ordering.
+	var remote, pinned []int
 	assign := func(i int) {
-		j := jobs[i]
-		if d.cfg.Pin != nil && d.cfg.Pin(j) {
+		if d.cfg.Pin != nil && d.cfg.Pin(jobs[i]) {
 			pinned = append(pinned, i)
 			return
 		}
-		s := int(fnv64a(d.cfg.Key(j)) % uint64(len(d.cfg.Backends)))
-		shards[s] = append(shards[s], i)
+		remote = append(remote, i)
 	}
 	if pending == nil {
 		for i := range jobs {
@@ -187,84 +374,328 @@ func (d *Dispatcher[J, R]) Dispatch(ctx context.Context, jobs []J) []R {
 		}
 	}
 
-	var wg sync.WaitGroup
-	for s, idx := range shards {
-		b := d.cfg.Backends[s]
-		for len(idx) > 0 {
-			n := len(idx)
-			if d.cfg.MaxBatch > 0 && n > d.cfg.MaxBatch {
-				n = d.cfg.MaxBatch
-			}
-			chunk := idx[:n:n]
-			idx = idx[n:]
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				d.runBatch(ctx, b, jobs, chunk, out)
-			}()
-		}
+	if d.cfg.Scheduler.UsesLoad() && len(remote) > 0 {
+		d.probe(ctx, fleet)
 	}
+	run.pending = d.buildChunks(jobs, remote, fleet)
+
 	if len(pinned) > 0 {
-		wg.Add(1)
+		// Pinned work streams at the same granularity as remote shards:
+		// chunked by MaxBatch, executed sequentially off the grant loop.
+		run.active++
 		go func() {
-			defer wg.Done()
-			d.runLocal(ctx, jobs, pinned, out)
+			for _, c := range chunkIndexes(pinned, d.cfg.MaxBatch) {
+				d.runLocal(ctx, jobs, c, out)
+				run.emit(c)
+			}
+			d.mu.Lock()
+			run.active--
+			d.cond.Broadcast()
+			d.mu.Unlock()
 		}()
 	}
-	wg.Wait()
+
+	// The grant loop: place pending chunks whenever capacity frees up or
+	// the fleet changes, wait otherwise, finish when everything has run.
+	// Cancellation must also wake the loop so queued chunks can fail over.
+	stop := context.AfterFunc(ctx, func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+	defer stop()
+	d.mu.Lock()
+	for {
+		granted := d.grantLocked(ctx, run)
+		if len(run.pending) == 0 && run.active == 0 {
+			break
+		}
+		if len(run.pending) > 0 && granted == 0 && run.active == 0 && d.idleLocked() {
+			// No grant, nothing of ours running, fleet fully idle: no
+			// future broadcast would unblock us (a scheduler parked every
+			// chunk on an idle fleet). Fail the remainder over instead of
+			// deadlocking.
+			d.failoverAllLocked(ctx, run)
+			continue
+		}
+		d.cond.Wait()
+	}
+	d.mu.Unlock()
 	return out
 }
 
+// buildChunks groups the remote job indexes into schedulable chunks. Under
+// an affinity scheduler, jobs group by their key's owner backend and chunk
+// by MaxBatch, reproducing the deterministic shard map for a fixed fleet.
+// Under load-driven placement there is no owner: jobs split into
+// consecutive chunks sized to give every backend a few grants to balance.
+func (d *Dispatcher[J, R]) buildChunks(jobs []J, remote []int, fleet []*peer[J, R]) []chunk {
+	if len(remote) == 0 {
+		return nil
+	}
+	n := len(fleet)
+	if d.cfg.Scheduler.Affinity(d.cfg.Key(jobs[remote[0]]), n) < 0 {
+		size := d.cfg.MaxBatch
+		if size <= 0 {
+			// Aim for ~2 chunks per backend so least-loaded has slack to
+			// shift work toward faster machines mid-sweep.
+			size = (len(remote) + 2*n - 1) / (2 * n)
+			if size < 1 {
+				size = 1
+			}
+		}
+		var chunks []chunk
+		for _, c := range chunkIndexes(remote, size) {
+			chunks = append(chunks, chunk{idx: c, key: d.cfg.Key(jobs[c[0]])})
+		}
+		return chunks
+	}
+	groups := make([][]int, n)
+	for _, i := range remote {
+		s := d.cfg.Scheduler.Affinity(d.cfg.Key(jobs[i]), n)
+		groups[s] = append(groups[s], i)
+	}
+	var chunks []chunk
+	for s, g := range groups {
+		for _, c := range chunkIndexes(g, d.cfg.MaxBatch) {
+			chunks = append(chunks, chunk{idx: c, key: d.cfg.Key(jobs[c[0]]), owner: fleet[s].b.Name()})
+		}
+	}
+	return chunks
+}
+
+// grantLocked runs one scheduling round under d.mu: snapshot the live
+// fleet, ask the scheduler to place the run's pending chunks, and spawn a
+// goroutine per grant. Returns the number of chunks started (including
+// failovers). A cancelled context or an empty fleet fails everything over.
+func (d *Dispatcher[J, R]) grantLocked(ctx context.Context, run *runState[J, R]) int {
+	if len(run.pending) == 0 {
+		return 0
+	}
+	if ctx.Err() != nil || len(d.peers) == 0 {
+		return d.failoverAllLocked(ctx, run)
+	}
+	views := make([]View, len(d.peers))
+	fleet := append([]*peer[J, R](nil), d.peers...)
+	for i, p := range fleet {
+		inf := int(p.inflight.Load())
+		free := d.cfg.MaxInFlight - inf
+		if free < 0 {
+			free = 0
+		}
+		views[i] = View{
+			Name:     p.b.Name(),
+			InFlight: inf,
+			Free:     free,
+			Load:     p.load.Load(),
+			Healthy:  !p.sick.Load(),
+		}
+	}
+	infos := make([]ChunkInfo, len(run.pending))
+	for i, c := range run.pending {
+		infos[i] = ChunkInfo{Key: c.key, Owner: c.owner, Jobs: len(c.idx)}
+	}
+	grants := d.cfg.Scheduler.Assign(infos, views)
+	started := 0
+	for k := len(grants) - 1; k >= 0; k-- { // high→low so removal keeps indexes valid
+		if k >= len(run.pending) {
+			continue // defensive: scheduler returned too many grants
+		}
+		v := grants[k]
+		if v < 0 || v >= len(fleet) {
+			continue
+		}
+		p := fleet[v]
+		c := run.pending[k]
+		run.pending = append(run.pending[:k], run.pending[k+1:]...)
+		if c.owner != "" && c.owner != p.b.Name() {
+			d.stolen.Add(1)
+		}
+		p.inflight.Add(1)
+		run.active++
+		started++
+		go d.runChunk(ctx, run, p, c)
+	}
+	return started
+}
+
+// failoverAllLocked sends every pending chunk to the local runner.
+func (d *Dispatcher[J, R]) failoverAllLocked(ctx context.Context, run *runState[J, R]) int {
+	started := len(run.pending)
+	for _, c := range run.pending {
+		run.active++
+		go func(c chunk) {
+			d.failovers.Add(int64(len(c.idx)))
+			d.runLocal(ctx, run.jobs, c.idx, run.out)
+			run.emit(c.idx)
+			d.mu.Lock()
+			run.active--
+			d.cond.Broadcast()
+			d.mu.Unlock()
+		}(c)
+	}
+	run.pending = nil
+	return started
+}
+
+// idleLocked reports whether no chunk is in flight anywhere on the fleet.
+func (d *Dispatcher[J, R]) idleLocked() bool {
+	for _, p := range d.peers {
+		if p.inflight.Load() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// runChunk executes one granted chunk, releases the backend's capacity
+// slot, and wakes every grant loop waiting for it.
+func (d *Dispatcher[J, R]) runChunk(ctx context.Context, run *runState[J, R], p *peer[J, R], c chunk) {
+	d.runBatch(ctx, p, run, c)
+	p.inflight.Add(-1)
+	d.mu.Lock()
+	run.active--
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// probe refreshes load views for a load-driven scheduler: every backend
+// implementing Prober is probed concurrently within ProbeTimeout. A failed
+// probe marks the backend unhealthy (deprioritized, never excluded); a
+// missing Prober leaves Load nil and the backend healthy.
+func (d *Dispatcher[J, R]) probe(ctx context.Context, fleet []*peer[J, R]) {
+	var wg sync.WaitGroup
+	for _, p := range fleet {
+		pr, ok := p.b.(Prober)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(p *peer[J, R], pr Prober) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, d.cfg.ProbeTimeout)
+			defer cancel()
+			l, err := pr.Probe(pctx)
+			if err != nil {
+				p.sick.Store(true)
+				p.load.Store(nil)
+				d.logf("dispatch: health probe %s: %v", p.b.Name(), err)
+				return
+			}
+			p.sick.Store(false)
+			p.load.Store(&l)
+		}(p, pr)
+	}
+	wg.Wait()
+}
+
 // runBatch executes one backend chunk with retries, falling back to the
-// local runner when every attempt fails.
-func (d *Dispatcher[J, R]) runBatch(ctx context.Context, b Backend[J, R], jobs []J, idx []int, out []R) {
-	batch := gather(jobs, idx)
+// local runner when every attempt fails, the context is cancelled, or the
+// backend is drained from the fleet mid-retry.
+func (d *Dispatcher[J, R]) runBatch(ctx context.Context, p *peer[J, R], run *runState[J, R], c chunk) {
+	idx := c.idx
+	batch := gather(run.jobs, idx)
 	backoff := d.cfg.Backoff
 	for attempt := 0; attempt < d.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			d.retries.Add(1)
-			d.cfg.sleep(ctx, backoff)
+			d.cfg.sleep(ctx, d.cfg.jitter(backoff))
 			backoff *= 2
 		}
 		if ctx.Err() != nil {
 			break // no point retrying a cancelled sweep
 		}
-		res, err := b.Execute(ctx, batch)
+		if p.gone.Load() {
+			break // backend drained: don't send it anything new
+		}
+		res, err := p.b.Execute(ctx, batch)
 		if err == nil && len(res) != len(batch) {
 			err = fmt.Errorf("dispatch: backend %s returned %d results for %d jobs",
-				b.Name(), len(res), len(batch))
+				p.b.Name(), len(res), len(batch))
 		}
 		if err == nil {
 			d.remote.Add(int64(len(idx)))
-			scatter(out, idx, res)
+			scatter(run.out, idx, res)
 			if d.cfg.CachePut != nil {
 				// Persist remote work into the shared tier: this is how a
 				// coordinator's store accumulates results computed by the
 				// whole fleet.
 				for k, i := range idx {
-					d.cfg.CachePut(jobs[i], res[k])
+					d.cfg.CachePut(run.jobs[i], res[k])
 				}
 			}
+			run.emit(idx)
 			return
 		}
 	}
 	d.failovers.Add(int64(len(idx)))
-	d.runLocal(ctx, jobs, idx, out)
+	d.runLocal(ctx, run.jobs, idx, run.out)
+	run.emit(idx)
 }
 
 // runLocal executes the jobs at idx (all jobs when idx is nil) through the
 // local runner and scatters the results. The local runner is trusted to
 // return one result per job; a short return leaves the missing slots at
-// their zero value rather than panicking mid-merge.
+// their zero value — counted in Stats.ShortLocal and logged, because a
+// silent zero in a merged sweep is indistinguishable from a real result.
 func (d *Dispatcher[J, R]) runLocal(ctx context.Context, jobs []J, idx []int, out []R) {
 	if idx == nil {
 		d.local.Add(int64(len(jobs)))
-		copy(out, d.cfg.Local(ctx, jobs))
+		res := d.cfg.Local(ctx, jobs)
+		if len(res) < len(jobs) {
+			d.noteShortLocal(len(jobs), len(res))
+		}
+		copy(out, res)
 		return
 	}
 	d.local.Add(int64(len(idx)))
 	res := d.cfg.Local(ctx, gather(jobs, idx))
+	if len(res) < len(idx) {
+		d.noteShortLocal(len(idx), len(res))
+	}
 	scatter(out, idx, res)
+}
+
+func (d *Dispatcher[J, R]) noteShortLocal(want, got int) {
+	d.shortLocal.Add(int64(want - got))
+	d.logf("dispatch: local runner returned %d results for %d jobs; %d slots left at zero value",
+		got, want, want-got)
+}
+
+func (d *Dispatcher[J, R]) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// allIndexes returns [0, n).
+func allIndexes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// chunkIndexes splits an ascending index list into consecutive chunks of
+// at most size entries (size <= 0 = one chunk).
+func chunkIndexes(idx []int, size int) [][]int {
+	if len(idx) == 0 {
+		return nil
+	}
+	if size <= 0 || size >= len(idx) {
+		return [][]int{idx}
+	}
+	var out [][]int
+	for len(idx) > 0 {
+		n := size
+		if n > len(idx) {
+			n = len(idx)
+		}
+		out = append(out, idx[:n:n])
+		idx = idx[n:]
+	}
+	return out
 }
 
 // gather collects jobs[idx...] preserving idx order.
@@ -293,6 +724,17 @@ func sleepCtx(ctx context.Context, d time.Duration) {
 	case <-ctx.Done():
 	case <-t.C:
 	}
+}
+
+// fullJitter spreads a retry delay uniformly over [d/2, d], so a
+// coordinator's many concurrent chunks don't hammer a recovering backend
+// in lockstep.
+func fullJitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + rand.N(d-half+1)
 }
 
 // fnv64a is the FNV-1a 64-bit hash: deterministic across processes and Go

@@ -1,0 +1,219 @@
+// Scheduling strategies for the dispatch coordinator: how queued chunks of
+// sweep work are placed onto the live backend fleet. Two built-ins ship —
+// deterministic hash affinity (cache-friendly, the historical default) and
+// least-loaded placement fed by health probes (throughput-friendly on
+// heterogeneous fleets) — and both are pure functions of their inputs, so
+// placement is reproducible given identical fleet state. Placement decides
+// only *where* a chunk executes, never *what* it computes: results merge in
+// job order whatever the strategy, so the output contract (byte-identity
+// with a single-process run) does not depend on the scheduler.
+package dispatch
+
+import (
+	"context"
+	"fmt"
+)
+
+// Load is a backend's self-reported load, obtained through a health probe
+// (Prober). Zero values mean idle.
+type Load struct {
+	// QueueDepth is the number of jobs queued behind the backend's
+	// in-flight work (e.g. its async job queue).
+	QueueDepth int
+	// InFlight is the number of jobs the backend is executing right now,
+	// including work submitted by other coordinators.
+	InFlight int
+}
+
+// Prober is implemented by backends that can report live load (prophetd's
+// GET /v1/health). Load-driven schedulers consult it; a probe error marks
+// the backend unhealthy for placement preference, but execution and the
+// retry/failover ladder proceed normally — health only steers, it never
+// gates correctness.
+type Prober interface {
+	Probe(ctx context.Context) (Load, error)
+}
+
+// View is the scheduler's snapshot of one live backend at assignment time.
+type View struct {
+	// Name identifies the backend (typically its URL).
+	Name string
+	// InFlight counts chunks this dispatcher currently has executing on
+	// the backend, across all concurrent Dispatch calls.
+	InFlight int
+	// Free is the backend's remaining concurrency budget
+	// (Config.MaxInFlight minus InFlight); a scheduler must not assign
+	// more than Free chunks to the backend in one round.
+	Free int
+	// Load is the backend's last health probe, nil when unknown (the
+	// backend is not a Prober, or no probe has run).
+	Load *Load
+	// Healthy is false when the last probe failed or reported an
+	// incompatible engine. Unprobed backends are healthy.
+	Healthy bool
+}
+
+// ChunkInfo describes one queued chunk to a scheduler.
+type ChunkInfo struct {
+	// Key is the shard key of the chunk's first job.
+	Key string
+	// Owner is the backend name the chunk has hash affinity for; empty
+	// when the strategy is purely load-driven.
+	Owner string
+	// Jobs is the chunk's job count.
+	Jobs int
+}
+
+// Scheduler decides which live backend executes each queued chunk. The
+// dispatcher consults it every time capacity frees up or the fleet
+// changes, so strategies see membership churn as it happens.
+// Implementations must be stateless and deterministic: identical inputs
+// must produce identical assignments.
+type Scheduler interface {
+	// Name identifies the strategy ("hash", "least-loaded").
+	Name() string
+	// UsesLoad reports whether the strategy wants health probes; the
+	// dispatcher only probes backends when it does.
+	UsesLoad() bool
+	// Affinity returns the preferred backend ordinal for a shard key over
+	// a ring of n live backends, or -1 when placement is purely
+	// load-driven. A strategy must answer uniformly: -1 for every key, or
+	// a valid ordinal for every key — the dispatcher groups jobs into
+	// chunks accordingly before any assignment happens.
+	Affinity(key string, n int) int
+	// Assign maps queued chunks onto live backends for one round: the
+	// returned slice holds, per chunk, the index into views of the backend
+	// that should run it, or -1 to leave the chunk queued for a later
+	// round (e.g. every backend is at capacity). views is never empty.
+	Assign(chunks []ChunkInfo, views []View) []int
+}
+
+// Schedulers lists the built-in strategy names accepted by SchedulerByName.
+func Schedulers() []string { return []string{"hash", "least-loaded"} }
+
+// SchedulerByName resolves a strategy by name; "" means the default
+// (hash). Unknown names are an error listing the valid choices.
+func SchedulerByName(name string) (Scheduler, error) {
+	switch name {
+	case "", "hash":
+		return Hash(), nil
+	case "least-loaded", "least_loaded":
+		return LeastLoaded(), nil
+	}
+	return nil, fmt.Errorf("dispatch: unknown scheduler %q (choose from %v)", name, Schedulers())
+}
+
+// Hash returns the deterministic hash-affinity strategy: each chunk's
+// shard key picks its owner backend (FNV-1a over the live ring), so a
+// fixed fleet always places a cell on the same worker and that worker's
+// baseline/trace caches stay hot for it. Idle backends steal queued
+// straggler chunks from the tail of the queue — affinity is a preference,
+// not a fence — and chunks whose owner left the fleet are rehashed over
+// the survivors.
+func Hash() Scheduler { return hashSched{} }
+
+type hashSched struct{}
+
+func (hashSched) Name() string   { return "hash" }
+func (hashSched) UsesLoad() bool { return false }
+func (hashSched) Affinity(key string, n int) int {
+	return int(fnv64a(key) % uint64(n))
+}
+
+func (hashSched) Assign(chunks []ChunkInfo, views []View) []int {
+	out := make([]int, len(chunks))
+	free := make([]int, len(views))
+	granted := make([]bool, len(views))
+	byName := make(map[string]int, len(views))
+	for i, v := range views {
+		byName[v.Name] = i
+		free[i] = v.Free
+	}
+	// Pass 1: owners take their own chunks, capacity permitting. A chunk
+	// whose owner is gone rehashes its key over the current fleet.
+	for k, c := range chunks {
+		out[k] = -1
+		owner, ok := byName[c.Owner]
+		if !ok {
+			owner = int(fnv64a(c.Key) % uint64(len(views)))
+		}
+		if free[owner] > 0 {
+			out[k] = owner
+			free[owner]--
+			granted[owner] = true
+		}
+	}
+	// Pass 2: work stealing. A backend with nothing running and nothing
+	// granted this round is a wasted worker while stragglers queue; it
+	// takes the last still-queued chunk (the one farthest from its owner's
+	// own head of queue), one per round so affinity recovers next round.
+	for i := range views {
+		if views[i].InFlight > 0 || granted[i] || free[i] <= 0 {
+			continue
+		}
+		for k := len(chunks) - 1; k >= 0; k-- {
+			if out[k] == -1 {
+				out[k] = i
+				free[i]--
+				granted[i] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// unhealthyPenalty pushes probe-failed backends behind every healthy one
+// without excluding them: if only unhealthy capacity remains, work still
+// flows (the batch-level retry/failover ladder owns correctness).
+const unhealthyPenalty = 1 << 20
+
+// LeastLoaded returns the load-driven strategy: each chunk goes to the
+// backend with the lowest combined load — chunks this dispatcher already
+// has in flight there, plus the backend's own probed queue depth and
+// in-flight jobs (which count work submitted by other coordinators).
+// Unprobed backends score on local in-flight alone; unhealthy ones are
+// used only when no healthy backend has capacity. Ties break toward the
+// earliest-joined backend, keeping assignment deterministic for a fixed
+// fleet state.
+func LeastLoaded() Scheduler { return leastLoadedSched{} }
+
+type leastLoadedSched struct{}
+
+func (leastLoadedSched) Name() string             { return "least-loaded" }
+func (leastLoadedSched) UsesLoad() bool           { return true }
+func (leastLoadedSched) Affinity(string, int) int { return -1 }
+
+func (leastLoadedSched) Assign(chunks []ChunkInfo, views []View) []int {
+	out := make([]int, len(chunks))
+	free := make([]int, len(views))
+	score := make([]int, len(views))
+	for i, v := range views {
+		free[i] = v.Free
+		score[i] = v.InFlight
+		if v.Load != nil {
+			score[i] += v.Load.QueueDepth + v.Load.InFlight
+		}
+		if !v.Healthy {
+			score[i] += unhealthyPenalty
+		}
+	}
+	for k := range chunks {
+		best := -1
+		for i := range views {
+			if free[i] <= 0 {
+				continue
+			}
+			if best == -1 || score[i] < score[best] {
+				best = i
+			}
+		}
+		out[k] = best
+		if best == -1 {
+			continue // every backend at capacity; chunk stays queued
+		}
+		free[best]--
+		score[best]++
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package dispatch
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+func TestSchedulerByName(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"", "hash"},
+		{"hash", "hash"},
+		{"least-loaded", "least-loaded"},
+		{"least_loaded", "least-loaded"},
+	} {
+		s, err := SchedulerByName(tc.in)
+		if err != nil {
+			t.Fatalf("SchedulerByName(%q): %v", tc.in, err)
+		}
+		if s.Name() != tc.want {
+			t.Fatalf("SchedulerByName(%q).Name() = %q, want %q", tc.in, s.Name(), tc.want)
+		}
+	}
+	if _, err := SchedulerByName("round-robin"); err == nil {
+		t.Fatal("unknown scheduler name accepted")
+	}
+	for _, name := range Schedulers() {
+		if _, err := SchedulerByName(name); err != nil {
+			t.Fatalf("advertised scheduler %q not resolvable: %v", name, err)
+		}
+	}
+}
+
+func views(free ...int) []View {
+	out := make([]View, len(free))
+	for i, f := range free {
+		out[i] = View{Name: "b" + strconv.Itoa(i), Free: f, Healthy: true}
+	}
+	return out
+}
+
+func TestHashAssignOwnersFirst(t *testing.T) {
+	v := views(2, 2, 2)
+	chunks := []ChunkInfo{
+		{Key: "a", Owner: "b1", Jobs: 3},
+		{Key: "b", Owner: "b0", Jobs: 3},
+		{Key: "c", Owner: "b2", Jobs: 3},
+	}
+	got := Hash().Assign(chunks, v)
+	if want := []int{1, 0, 2}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign = %v, want owners %v", got, want)
+	}
+}
+
+func TestHashAssignRespectsCapacity(t *testing.T) {
+	v := views(1)
+	v[0].InFlight = 3
+	chunks := []ChunkInfo{
+		{Key: "a", Owner: "b0"},
+		{Key: "b", Owner: "b0"},
+	}
+	got := Hash().Assign(chunks, v)
+	if want := []int{0, -1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign = %v, want %v (second chunk queued)", got, want)
+	}
+}
+
+// An idle backend with no chunks of its own steals the tail chunk.
+func TestHashAssignSteals(t *testing.T) {
+	v := views(1, 4) // b0 has one slot; b1 is idle with capacity
+	chunks := []ChunkInfo{
+		{Key: "a", Owner: "b0"},
+		{Key: "b", Owner: "b0"},
+		{Key: "c", Owner: "b0"},
+	}
+	got := Hash().Assign(chunks, v)
+	if want := []int{0, -1, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign = %v, want %v (b1 steals the tail chunk)", got, want)
+	}
+}
+
+// A busy backend does not steal: stealing is for idle workers only.
+func TestHashAssignBusyBackendDoesNotSteal(t *testing.T) {
+	v := views(1, 2)
+	v[1].InFlight = 2 // b1 already has our chunks running
+	chunks := []ChunkInfo{
+		{Key: "a", Owner: "b0"},
+		{Key: "b", Owner: "b0"},
+	}
+	got := Hash().Assign(chunks, v)
+	if want := []int{0, -1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign = %v, want %v (busy b1 must not steal)", got, want)
+	}
+}
+
+// A chunk whose owner left the fleet is rehashed over the survivors, not
+// dropped.
+func TestHashAssignRehashesOrphans(t *testing.T) {
+	v := views(4, 4)
+	chunks := []ChunkInfo{{Key: "k", Owner: "gone-backend"}}
+	got := Hash().Assign(chunks, v)
+	want := int(fnv64a("k") % 2)
+	if got[0] != want {
+		t.Fatalf("orphan chunk assigned to %d, want rehash %d", got[0], want)
+	}
+}
+
+func TestLeastLoadedPrefersIdleBackend(t *testing.T) {
+	v := views(4, 4, 4)
+	v[0].Load = &Load{QueueDepth: 10, InFlight: 2}
+	v[1].Load = &Load{}
+	v[2].Load = &Load{QueueDepth: 3}
+	chunks := []ChunkInfo{{Key: "a"}, {Key: "b"}, {Key: "c"}}
+	got := LeastLoaded().Assign(chunks, v)
+	// b1 is idle: it takes the first chunks until its score catches b2.
+	if got[0] != 1 {
+		t.Fatalf("first chunk to %d, want idle backend 1 (full: %v)", got[0], got)
+	}
+	for _, g := range got {
+		if g == 0 {
+			t.Fatalf("deeply queued backend 0 was assigned before lighter peers: %v", got)
+		}
+	}
+}
+
+func TestLeastLoadedAvoidsUnhealthy(t *testing.T) {
+	v := views(4, 4)
+	v[0].Healthy = false
+	chunks := []ChunkInfo{{Key: "a"}, {Key: "b"}}
+	got := LeastLoaded().Assign(chunks, v)
+	if want := []int{1, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign = %v, want %v (all to the healthy backend)", got, want)
+	}
+	// ...but when only unhealthy capacity remains, work still flows.
+	v[1].Free = 0
+	got = LeastLoaded().Assign(chunks, v)
+	if want := []int{0, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign = %v, want %v (unhealthy beats queued)", got, want)
+	}
+}
+
+func TestLeastLoadedAllAtCapacity(t *testing.T) {
+	v := views(0, 0)
+	got := LeastLoaded().Assign([]ChunkInfo{{Key: "a"}}, v)
+	if want := []int{-1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Assign = %v, want %v (chunk stays queued)", got, want)
+	}
+}
+
+// Both strategies are pure functions: same inputs, same placement.
+func TestAssignDeterministic(t *testing.T) {
+	v := views(2, 1, 3)
+	v[1].Load = &Load{QueueDepth: 5}
+	v[2].InFlight = 1
+	chunks := []ChunkInfo{
+		{Key: "a", Owner: "b2"}, {Key: "b", Owner: "b0"}, {Key: "c", Owner: "b0"},
+		{Key: "d", Owner: "b1"}, {Key: "e", Owner: "b2"},
+	}
+	for _, s := range []Scheduler{Hash(), LeastLoaded()} {
+		first := s.Assign(chunks, v)
+		for i := 0; i < 10; i++ {
+			if got := s.Assign(chunks, v); !reflect.DeepEqual(got, first) {
+				t.Fatalf("%s: Assign changed across identical calls: %v then %v", s.Name(), first, got)
+			}
+		}
+	}
+}

@@ -34,7 +34,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, bj := range req.Jobs {
 		jobs[i] = bj.Job()
 	}
+	done := s.track()
 	results, err := s.ev.SweepLocal(r.Context(), jobs...)
+	done()
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return

@@ -105,6 +105,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// result it computes.
 	computeCtx := context.WithoutCancel(r.Context())
 	v, err := s.cache.Do(r.Context(), req.cacheKey(), disk, func() (any, error) {
+		defer s.track()()
 		rep, err := s.ev.RunJob(computeCtx, job)
 		if err != nil {
 			return nil, err
@@ -188,6 +189,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty sweep: need workloads×schemes or jobs")
 		return
 	}
+	if mode := streamMode(r); mode != "" && !req.Async {
+		s.streamSweep(w, r, jobs, mode)
+		return
+	}
 	if req.Async {
 		id, err := s.jobs.Submit("sweep", func(ctx context.Context) (any, error) {
 			return s.sweep(ctx, jobs)
@@ -212,24 +217,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // failures land in their result row; only a sweep-level failure (context
 // cancellation) is returned as an error.
 func (s *Server) sweep(ctx context.Context, jobs []prophet.Job) (SweepResponse, error) {
+	defer s.track()()
 	results, err := s.ev.Sweep(ctx, jobs...)
 	if err != nil {
 		return SweepResponse{}, err
 	}
 	resp := SweepResponse{Results: make([]SweepResult, len(results))}
 	for i, res := range results {
-		row := SweepResult{
-			Workload: WorkloadRef{Name: res.Job.Workload.Name, Records: res.Job.Workload.Records},
-			Scheme:   string(res.Job.Scheme),
-		}
-		if res.Err != nil {
-			row.Error = res.Err.Error()
-		} else {
-			st := res.Stats
-			row.Stats = &st
-			row.Meta = res.Meta
-		}
-		resp.Results[i] = row
+		resp.Results[i] = sweepRow(res)
 	}
 	return resp, nil
+}
+
+// sweepRow shapes one engine result into its wire row — shared by the
+// buffered and streaming paths so their payloads cannot drift apart.
+func sweepRow(res prophet.Result) SweepResult {
+	row := SweepResult{
+		Workload: WorkloadRef{Name: res.Job.Workload.Name, Records: res.Job.Workload.Records},
+		Scheme:   string(res.Job.Scheme),
+	}
+	if res.Err != nil {
+		row.Error = res.Err.Error()
+	} else {
+		st := res.Stats
+		row.Stats = &st
+		row.Meta = res.Meta
+	}
+	return row
 }

@@ -28,8 +28,11 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"prophet"
@@ -66,6 +69,13 @@ type Config struct {
 	// persisted server-side); prophetd passes one configured with
 	// -profile-dir so captures also land on disk for the PGO loop.
 	Capturer *pcapture.Capturer
+	// PeerTTL is the heartbeat expiry window for dynamically joined peers
+	// (POST /v1/peers): a peer that has not re-registered within the TTL is
+	// drained from the fleet (default 15s).
+	PeerTTL time.Duration
+	// Logf receives operational notices (peer joins, drains, expiries).
+	// Nil means the standard library logger.
+	Logf func(format string, args ...any)
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
 }
@@ -83,6 +93,17 @@ type Server struct {
 	mux   *http.ServeMux
 	now   func() time.Time
 	start time.Time
+	logf  func(format string, args ...any)
+
+	// engineInFlight counts evaluation requests currently executing —
+	// reported by GET /v1/health for load-aware fleet scheduling.
+	engineInFlight atomic.Int64
+
+	// peerReg tracks dynamic fleet membership (POST /v1/peers heartbeats);
+	// reaperStop ends its background expiry loop.
+	peerReg    *peerRegistry
+	reaperStop chan struct{}
+	reaperOnce sync.Once
 }
 
 // New builds a Server from cfg.
@@ -103,6 +124,12 @@ func New(cfg Config) *Server {
 	if cfg.Capturer == nil {
 		cfg.Capturer = pcapture.New(pcapture.Options{})
 	}
+	if cfg.PeerTTL <= 0 {
+		cfg.PeerTTL = 15 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
 	s := &Server{
 		ev:    cfg.Evaluator,
 		cache: newResultCache(cfg.CacheEntries, cfg.CacheTTL, now),
@@ -112,12 +139,28 @@ func New(cfg Config) *Server {
 		sess:  newSessionStore(now),
 		now:   now,
 		start: now(),
+		logf:  cfg.Logf,
+		// Peers configured at startup are static: no heartbeat expected,
+		// drained only by explicit DELETE /v1/peers.
+		peerReg:    newPeerRegistry(cfg.PeerTTL, now, cfg.Evaluator.Backends()),
+		reaperStop: make(chan struct{}),
 	}
+	// The reaper interval is a fraction of the TTL so a dead worker drains
+	// within roughly one heartbeat window even on an idle coordinator.
+	reapEvery := cfg.PeerTTL / 3
+	if reapEvery < time.Second {
+		reapEvery = time.Second
+	}
+	go s.reapLoop(reapEvery)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	mux.HandleFunc("GET /v1/peers", s.handlePeersList)
+	mux.HandleFunc("POST /v1/peers", s.handlePeerJoin)
+	mux.HandleFunc("DELETE /v1/peers", s.handlePeerLeave)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -139,11 +182,12 @@ func New(cfg Config) *Server {
 // Handler returns the routed handler for mounting on an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close shuts the async machinery down: job intake stops, queued jobs are
-// cancelled, and workers are awaited up to ctx's deadline. Call after (or
-// concurrently with) http.Server.Shutdown — in-flight HTTP requests
-// coalesced on the cache drain on their own.
+// Close shuts the async machinery down: the peer reaper stops, job intake
+// stops, queued jobs are cancelled, and workers are awaited up to ctx's
+// deadline. Call after (or concurrently with) http.Server.Shutdown —
+// in-flight HTTP requests coalesced on the cache drain on their own.
 func (s *Server) Close(ctx context.Context) error {
+	s.reaperOnce.Do(func() { close(s.reaperStop) })
 	return s.jobs.Shutdown(ctx)
 }
 
@@ -219,12 +263,14 @@ type StatsResponse struct {
 	// (and its name), how many captures this process has taken, and where
 	// the last one was persisted.
 	Profile pcapture.Stats `json:"profile"`
-	// Dispatch reports the sweep-sharding fleet: the configured peers and
-	// the dispatcher's remote/local/retry/failover counters (all zero when
-	// the daemon runs standalone).
+	// Dispatch reports the sweep fleet: the scheduling strategy, the live
+	// peers (static and dynamically joined), and the coordinator's
+	// remote/local/retry/failover/steal counters (all zero when the daemon
+	// runs standalone).
 	Dispatch struct {
-		Peers []string              `json:"peers,omitempty"`
-		Stats prophet.DispatchStats `json:"stats"`
+		Scheduler string                `json:"scheduler"`
+		Peers     []string              `json:"peers,omitempty"`
+		Stats     prophet.DispatchStats `json:"stats"`
 	} `json:"dispatch"`
 }
 
@@ -249,6 +295,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Jobs.Total = s.jobs.Len()
 	resp.Sessions = s.sess.Len()
 	resp.Profile = s.capt.CaptureStats()
+	s.reapPeers() // stats must reflect expiries even on an idle coordinator
+	resp.Dispatch.Scheduler = s.ev.SchedulerName()
 	resp.Dispatch.Peers = s.ev.Backends()
 	resp.Dispatch.Stats = s.ev.DispatchStats()
 	writeJSON(w, http.StatusOK, resp)

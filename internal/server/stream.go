@@ -1,0 +1,134 @@
+// Streaming sweep delivery: POST /v1/sweep with Accept:
+// application/x-ndjson (or ?stream=1), or Accept: text/event-stream (or
+// ?stream=sse), emits result rows incrementally as chunks complete instead
+// of buffering the whole sweep. Every row carries the job's index; rows
+// arrive in completion order, so clients reconstruct the exact buffered
+// response by sorting rows by index and dropping the index field — the
+// payload fields are identical, in identical order, to SweepResult. A
+// final trailer object ({"done":true,...}) marks a complete stream; its
+// absence means the stream was cut.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"prophet"
+)
+
+// streamMode classifies a sweep request's delivery: "ndjson", "sse", or ""
+// (buffered). The query parameter wins over the Accept header, so curl
+// one-liners don't need header flags.
+func streamMode(r *http.Request) string {
+	switch strings.ToLower(r.URL.Query().Get("stream")) {
+	case "sse":
+		return "sse"
+	case "1", "true", "ndjson":
+		return "ndjson"
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "text/event-stream") {
+		return "sse"
+	}
+	if strings.Contains(accept, "application/x-ndjson") {
+		return "ndjson"
+	}
+	return ""
+}
+
+// StreamRow is one streamed sweep result: Index is the job's position in
+// the request's job order; the remaining fields are exactly SweepResult's,
+// in the same order, so deleting the index from a row yields the
+// corresponding buffered results[] element byte-for-byte.
+type StreamRow struct {
+	Index    int               `json:"index"`
+	Workload WorkloadRef       `json:"workload"`
+	Scheme   string            `json:"scheme"`
+	Stats    *prophet.RunStats `json:"stats,omitempty"`
+	Meta     map[string]int    `json:"meta,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// StreamTrailer terminates a sweep stream. Done false (with Error) means
+// the sweep itself failed; a missing trailer means the connection was cut.
+type StreamTrailer struct {
+	Done    bool   `json:"done"`
+	Results int    `json:"results"`
+	Error   string `json:"error,omitempty"`
+}
+
+// streamSweep executes the sweep with incremental delivery. The client
+// disconnecting cancels the sweep through the request context.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, jobs []prophet.Job, mode string) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		// No flushing, no streaming: fall back to the buffered path rather
+		// than emit rows the client would only see at the end anyway.
+		resp, err := s.sweep(r.Context(), jobs)
+		if err != nil {
+			writeError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if mode == "sse" {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush() // commit headers before the first (possibly slow) chunk
+
+	writeEvent := func(v any) {
+		// Rows and trailer share SetEscapeHTML(false) with writeJSON, so a
+		// streamed row's payload bytes match the buffered response's.
+		body, err := marshalNoEscape(v)
+		if err != nil {
+			return
+		}
+		if mode == "sse" {
+			w.Write([]byte("data: "))
+			w.Write(body)
+			w.Write([]byte("\n\n"))
+		} else {
+			w.Write(body)
+			w.Write([]byte("\n"))
+		}
+		flusher.Flush()
+	}
+
+	defer s.track()()
+	count := 0
+	err := s.ev.SweepStream(r.Context(), func(i int, res prophet.Result) {
+		row := sweepRow(res)
+		writeEvent(StreamRow{
+			Index:    i,
+			Workload: row.Workload,
+			Scheme:   row.Scheme,
+			Stats:    row.Stats,
+			Meta:     row.Meta,
+			Error:    row.Error,
+		})
+		count++
+	}, jobs...)
+	trailer := StreamTrailer{Done: err == nil, Results: count}
+	if err != nil {
+		trailer.Error = err.Error()
+	}
+	writeEvent(trailer)
+}
+
+// marshalNoEscape is json.Marshal with HTML escaping off, matching
+// writeJSON's encoder settings.
+func marshalNoEscape(v any) ([]byte, error) {
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return []byte(strings.TrimSuffix(sb.String(), "\n")), nil
+}
