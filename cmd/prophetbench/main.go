@@ -59,7 +59,12 @@ type Report struct {
 	GOARCH    string `json:"goarch"`
 	Date      string `json:"date"`
 	Records   uint64 `json:"records"`
-	Cells     []Cell `json:"cells"`
+	// RunParallelism is the intra-run worker bound the cells were measured
+	// with (0 in reports predating the knob = fully synchronous runs).
+	// Results are bit-identical across values; only timings shift, so two
+	// reports measured at different nonzero settings are not comparable.
+	RunParallelism int    `json:"runParallelism,omitempty"`
+	Cells          []Cell `json:"cells"`
 }
 
 // Cell is one workload x scheme measurement.
@@ -90,6 +95,7 @@ func main() {
 		threshold     = flag.Float64("threshold", 10, "max allowed ns/op regression percent vs -compare")
 		nsGate        = flag.Bool("ns-gate", true, "gate on ns/op (disable when the baseline comes from different hardware; allocs/op stays gated)")
 		extended      = flag.Bool("extended", false, "append the extra scheme families (gaze, adaptive) to the matrix; their cells are absent from older baselines and therefore not gated")
+		runPar        = flag.Int("run-parallelism", 0, "intra-run worker bound per simulation (0 or 1 = fully synchronous; results are identical, only timings shift)")
 		cpuprofile    = flag.String("cpuprofile", "", "capture a CPU profile of the whole matrix run to this .pprof file (feeds the PGO loop, docs/PROFILING.md)")
 		showVersion   = flag.Bool("version", false, "print version and exit")
 	)
@@ -104,14 +110,15 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:    schemaVersion,
-		Tool:      "prophetbench",
-		Version:   prophet.Version(),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		Records:   *records,
+		Schema:         schemaVersion,
+		Tool:           "prophetbench",
+		Version:        prophet.Version(),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		Date:           time.Now().UTC().Format(time.RFC3339),
+		Records:        *records,
+		RunParallelism: *runPar,
 	}
 
 	ws := cliutil.SplitList(*workloadsFlag)
@@ -132,7 +139,10 @@ func main() {
 	}
 
 	ctx := context.Background()
-	ev := prophet.New(prophet.WithWorkers(1))
+	newEval := func() *prophet.Evaluator {
+		return prophet.New(prophet.WithWorkers(1), prophet.WithRunParallelism(*runPar))
+	}
+	ev := newEval()
 
 	// With -cpuprofile the whole matrix runs inside one capture window, so
 	// the profile weights each cell by its real measurement cost — exactly
@@ -152,7 +162,7 @@ func main() {
 		}
 		w = w.WithRecords(*records)
 		for _, sn := range schemes {
-			cell, err := measure(ctx, ev, w, prophet.Scheme(sn), *records)
+			cell, err := measure(ctx, ev, newEval, w, prophet.Scheme(sn), *records)
 			if err != nil {
 				fatalf("%s under %s: %v", wn, sn, err)
 			}
@@ -195,14 +205,23 @@ func main() {
 			fatalf("baseline %s measured %d records per cell, this run %d — per-op times are not comparable; rerun with -records %d or regenerate the baseline",
 				*compare, old.Records, rep.Records, old.Records)
 		}
+		// A zero (or absent, in pre-knob baselines) runParallelism means
+		// fully synchronous runs and stays comparable with any run; two
+		// different nonzero settings measured different execution shapes.
+		if old.RunParallelism > 1 && rep.RunParallelism > 1 && old.RunParallelism != rep.RunParallelism {
+			fatalf("baseline %s measured -run-parallelism %d, this run %d — timings are not comparable; rerun with -run-parallelism %d or regenerate the baseline",
+				*compare, old.RunParallelism, rep.RunParallelism, old.RunParallelism)
+		}
 		if !printComparison(old, rep, *threshold, *nsGate) {
 			os.Exit(1)
 		}
 	}
 }
 
-// measure times one matrix cell and collects its quality metrics.
-func measure(ctx context.Context, ev *prophet.Evaluator, w prophet.Workload, scheme prophet.Scheme, records uint64) (Cell, error) {
+// measure times one matrix cell and collects its quality metrics. newEval
+// builds fresh evaluators with the run's configuration (baseline cells
+// cannot reuse ev — its cache would make repeats free).
+func measure(ctx context.Context, ev *prophet.Evaluator, newEval func() *prophet.Evaluator, w prophet.Workload, scheme prophet.Scheme, records uint64) (Cell, error) {
 	// One untimed run primes the workload baseline in the shared evaluator
 	// and yields the cell's simulation-quality metrics.
 	stats, err := ev.Run(ctx, w, scheme)
@@ -216,7 +235,7 @@ func measure(ctx context.Context, ev *prophet.Evaluator, w prophet.Workload, sch
 		res = testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := prophet.New(prophet.WithWorkers(1)).Run(ctx, w, scheme); err != nil {
+				if _, err := newEval().Run(ctx, w, scheme); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -113,6 +113,17 @@ var _ temporal.Engine = (*Wrapper)(nil)
 // Name implements temporal.Engine.
 func (w *Wrapper) Name() string { return "adaptive" }
 
+// Release releases every candidate engine that supports releasing (the
+// temporal engines return their metadata-table storage to the geometry
+// pool). The wrapper must not be used after.
+func (w *Wrapper) Release() {
+	for _, c := range w.cands {
+		if r, ok := c.Engine.(interface{ Release() }); ok {
+			r.Release()
+		}
+	}
+}
+
 // Active returns the currently selected candidate's name (tooling and the
 // online-adaptation session surface it).
 func (w *Wrapper) Active() string { return w.cands[w.active].Name }

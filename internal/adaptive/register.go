@@ -11,11 +11,13 @@ func init() {
 	registry.MustRegister("adaptive", func() registry.Scheme {
 		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
 			w := New(Default())
-			st := sim.Run(ctx.Sim, w, nil, nil, nil, ctx.Factory())
-			return registry.Result{Stats: st, Meta: map[string]int{
+			st := sim.RunOpts(ctx.Sim, ctx.Opts, w, nil, nil, nil, ctx.Factory())
+			meta := map[string]int{
 				"switches": w.Switches(),
 				"windows":  int(w.Windows()),
-			}}, nil
+			}
+			w.Release()
+			return registry.Result{Stats: st, Meta: meta}, nil
 		})
 	})
 }

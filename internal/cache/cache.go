@@ -108,8 +108,15 @@ func New(cfg Config) *Cache {
 // Reset restores the cache to its just-constructed state, reusing the
 // backing arrays. It exists so internal/sim can pool simulated systems
 // across runs; a reset cache is indistinguishable from a fresh one.
+//
+// Only the lines accelerator is cleared; the lineState array keeps stale
+// contents. lines is authoritative for validity — every read of data is
+// guarded by a lines match (findWay, Insert's scan) or happens after a full
+// overwrite of the entry — so stale state is unobservable, and the reset
+// cost drops from the full tag array (tens of cache lines per set) to one
+// word per way. Replacement state is still reset eagerly: the CLOCK hand is
+// read before any insert, so stale recency would change victim choices.
 func (c *Cache) Reset() {
-	clear(c.data)
 	clear(c.lines)
 	c.repl.reset()
 	c.demandWays = c.cfg.Ways
@@ -160,6 +167,28 @@ func (c *Cache) Lookup(l mem.Line) (ready uint64, hit bool) {
 	return 0, false
 }
 
+// LookupFill probes like Lookup but the same scan also records the first
+// free demand way, so a miss can be completed by Fill without rescanning
+// the set. Like Lookup it changes no state and counts no stats; the
+// FillSlot is subject to the same no-intervening-operations contract as
+// AccessFill's.
+func (c *Cache) LookupFill(l mem.Line) (ready uint64, hit bool, slot FillSlot) {
+	si := c.setIndex(l)
+	base := si * c.cfg.Ways
+	want := uint64(l) + 1
+	free := -1
+	for w := 0; w < c.demandWays; w++ {
+		lv := c.lines[base+w]
+		if lv == want {
+			return c.set(si)[w].ready, true, FillSlot{}
+		}
+		if lv == 0 && free < 0 {
+			free = w
+		}
+	}
+	return 0, false, FillSlot{si: si, free: free}
+}
+
 // AccessResult reports what a demand access found.
 type AccessResult struct {
 	Hit bool
@@ -198,6 +227,77 @@ func (c *Cache) Access(l mem.Line, now uint64, write bool) AccessResult {
 	}
 	c.stats.Misses++
 	return AccessResult{}
+}
+
+// FillSlot remembers, across a miss, where the fetched line will be filled:
+// the set index and the first free demand way found during the access scan
+// (-1 when the set is full and a victim must be chosen). It is only valid
+// while no other operation touches the cache between AccessFill and Fill.
+type FillSlot struct {
+	si   int
+	free int
+}
+
+// AccessFill is Access fused with the fill-side tag scan: the single way
+// scan that decides hit/miss also records the first free way, so a miss can
+// be completed by Fill without rescanning the set. Behaviour and statistics
+// are bit-identical to Access followed (on a miss) by Insert, provided
+// nothing else touches the cache in between — which holds for the LLC,
+// where misses go straight to DRAM with no intervening prefetch fills.
+func (c *Cache) AccessFill(l mem.Line, now uint64, write bool) (AccessResult, FillSlot) {
+	c.clock++
+	si := c.setIndex(l)
+	base := si * c.cfg.Ways
+	want := uint64(l) + 1
+	free := -1
+	for w := 0; w < c.demandWays; w++ {
+		lv := c.lines[base+w]
+		if lv == want {
+			st := &c.set(si)[w]
+			c.stats.Hits++
+			c.repl.touch(si, w, c.clock)
+			res := AccessResult{Hit: true, Ready: st.ready}
+			if st.prefetch {
+				res.WasPrefetch = true
+				res.Trigger = st.trigger
+				st.prefetch = false
+			}
+			if write {
+				st.dirty = true
+			}
+			return res, FillSlot{}
+		}
+		if lv == 0 && free < 0 {
+			free = w
+		}
+	}
+	c.stats.Misses++
+	return AccessResult{}, FillSlot{si: si, free: free}
+}
+
+// Fill completes the miss recorded by AccessFill's slot, equivalent to
+// Insert of the same line but without a second tag scan. The in-place
+// refill branch of Insert cannot apply: the line just missed and, per the
+// FillSlot contract, nothing has inserted it since.
+func (c *Cache) Fill(slot FillSlot, l mem.Line, ready uint64, dirty, prefetch bool, trigger mem.Addr) Eviction {
+	c.clock++
+	si := slot.si
+	set := c.set(si)
+	victim := slot.free
+	var ev Eviction
+	if victim < 0 {
+		victim = c.repl.victim(si, c.demandWays)
+		st := set[victim]
+		ev = Eviction{Line: st.line, Dirty: st.dirty, Prefetch: st.prefetch, Trigger: st.trigger, Valid: true}
+		if st.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	set[victim] = lineState{line: l, valid: true, dirty: dirty, prefetch: prefetch, trigger: trigger, ready: ready}
+	c.lines[si*c.cfg.Ways+victim] = uint64(l) + 1
+	c.repl.insert(si, victim, c.clock)
+	c.stats.Fills++
+	return ev
 }
 
 // Insert fills line l, choosing a victim within the demand-visible ways.
@@ -264,6 +364,35 @@ func (c *Cache) MarkDirty(l mem.Line, now uint64) bool {
 	return false
 }
 
+// MarkDirtyFill is MarkDirty fused with the fill-side scan: the single tag
+// pass that checks for a writeback hit also records the first free demand
+// way, so a writeback miss can be completed by Fill without rescanning the
+// set. When handled is true the dirty-hit side effects have been applied
+// and the slot is meaningless; otherwise no state changed (exactly like a
+// false MarkDirty) and the slot obeys the usual FillSlot contract.
+func (c *Cache) MarkDirtyFill(l mem.Line, now uint64) (handled bool, slot FillSlot) {
+	si := c.setIndex(l)
+	base := si * c.cfg.Ways
+	want := uint64(l) + 1
+	free := -1
+	for w := 0; w < c.demandWays; w++ {
+		lv := c.lines[base+w]
+		if lv == want {
+			st := &c.set(si)[w]
+			c.clock++
+			c.stats.Hits++
+			c.repl.touch(si, w, c.clock)
+			st.prefetch = false
+			st.dirty = true
+			return true, FillSlot{}
+		}
+		if lv == 0 && free < 0 {
+			free = w
+		}
+	}
+	return false, FillSlot{si: si, free: free}
+}
+
 // Invalidate removes a line if present, returning its eviction record
 // (used by exclusive-ish LLC handling and by tests).
 func (c *Cache) Invalidate(l mem.Line) Eviction {
@@ -299,7 +428,8 @@ func (c *Cache) SetDemandWays(n int) []Eviction {
 			set := c.set(si)
 			for w := n; w < c.demandWays; w++ {
 				st := &set[w]
-				if st.valid {
+				// lines, not st.valid, is authoritative (sparse Reset).
+				if c.lines[si*c.cfg.Ways+w] != 0 {
 					evs = append(evs, Eviction{Line: st.line, Dirty: st.dirty, Prefetch: st.prefetch, Trigger: st.trigger, Valid: true})
 					if st.dirty {
 						c.stats.Writebacks++
@@ -318,9 +448,9 @@ func (c *Cache) SetDemandWays(n int) []Eviction {
 func (c *Cache) Occupancy() int {
 	n := 0
 	for si := 0; si < c.cfg.Sets(); si++ {
-		set := c.set(si)
+		base := si * c.cfg.Ways
 		for w := 0; w < c.demandWays; w++ {
-			if set[w].valid {
+			if c.lines[base+w] != 0 {
 				n++
 			}
 		}

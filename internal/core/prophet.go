@@ -281,6 +281,10 @@ func (p *Prophet) TableStats() temporal.TableStats { return p.table.Stats() }
 // Table exposes the metadata table for measurement tooling.
 func (p *Prophet) Table() *temporal.Table { return p.table }
 
+// Release returns the metadata table's storage to the geometry pool. The
+// engine (and anything obtained through Table) must not be used after.
+func (p *Prophet) Release() { p.table.Release() }
+
 // MVB exposes the victim buffer (nil when the feature is off).
 func (p *Prophet) MVB() *VictimBuffer { return p.mvb }
 

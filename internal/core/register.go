@@ -15,7 +15,7 @@ import (
 func init() {
 	registry.MustRegister("baseline", func() registry.Scheme {
 		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
-			st := sim.Run(ctx.Sim, nil, nil, nil, nil, ctx.Factory())
+			st := sim.RunOpts(ctx.Sim, ctx.Opts, nil, nil, nil, nil, ctx.Factory())
 			return registry.Result{Stats: st}, nil
 		})
 	})

@@ -132,7 +132,10 @@ func (c *Core) Reset(m Memory) {
 	c.st = Stats{}
 }
 
-// Run executes the whole trace and returns the run statistics.
+// Run executes the whole trace record-by-record and returns the run
+// statistics. It is the sequential reference implementation: RunBlocks must
+// produce bit-identical Stats for every block size (internal/sim/difftest
+// enforces this).
 func (c *Core) Run(src mem.Source) Stats {
 	for {
 		a, ok := src.Next()
@@ -140,6 +143,27 @@ func (c *Core) Run(src mem.Source) Stats {
 			break
 		}
 		c.Step(a)
+	}
+	return c.Finish()
+}
+
+// RunBlocks executes the whole trace in blocks of up to len(buf) records,
+// amortizing source dispatch and bounds checks across each block. Sources
+// implementing mem.BlockSource deliver blocks natively (zero-copy for
+// in-memory traces); others are drained through buf. Stats are bit-identical
+// to Run for every block size.
+func (c *Core) RunBlocks(src mem.Source, buf []mem.Access) Stats {
+	if len(buf) == 0 {
+		buf = make([]mem.Access, mem.DefaultBlockRecords)
+	}
+	for {
+		blk := mem.FillBlock(src, buf)
+		if len(blk) == 0 {
+			break
+		}
+		for i := range blk {
+			c.Step(blk[i])
+		}
 	}
 	return c.Finish()
 }
@@ -207,11 +231,37 @@ func (c *Core) Step(a mem.Access) {
 }
 
 // drainOccupancy applies the ROB and LQ limits, advancing cycle past the
-// completions that must retire first, and prunes completed loads. The slice
-// stays anchored at its backing array's start (pops are deferred into one
-// compaction) so the preallocated capacity is never abandoned.
+// completions that must retire first. The slice stays anchored at its
+// backing array's start (pops are deferred into one compaction) so the
+// preallocated capacity is never abandoned.
+//
+// Completed loads are pruned lazily: a stale entry (done <= cycle) is
+// cycle-neutral in every max-over-done pop — entry cycles are non-decreasing
+// across records, so once complete it stays complete — and only distorts the
+// load-queue *count*, which binds solely at the LQ limit. So the eager
+// per-record prune scan is deferred until the raw count reaches LQ, where a
+// prune restores exactly the incomplete set the eager variant would hold.
+// Cycle results are bit-identical; only the scan cost moves.
 func (c *Core) drainOccupancy(cycle uint64) uint64 {
-	// Prune loads already complete at this cycle.
+	// ROB: oldest incomplete load must be within ROB instructions. Stale
+	// completed entries in the prefix advance nothing and are popped along
+	// the way.
+	pop := 0
+	n := len(c.robLoads)
+	for pop < n && c.instrCount-c.robLoads[pop].index >= uint64(c.cfg.ROB) {
+		if d := c.robLoads[pop].done; d > cycle {
+			cycle = d
+		}
+		pop++
+	}
+	if pop > 0 {
+		n = copy(c.robLoads, c.robLoads[pop:])
+		c.robLoads = c.robLoads[:n]
+	}
+	if n < c.cfg.LQ {
+		return cycle
+	}
+	// LQ may bind: prune completed loads, then pop until under the limit.
 	keep := c.robLoads[:0]
 	for _, f := range c.robLoads {
 		if f.done > cycle {
@@ -219,30 +269,29 @@ func (c *Core) drainOccupancy(cycle uint64) uint64 {
 		}
 	}
 	c.robLoads = keep
-	// ROB: oldest incomplete load must be within ROB instructions.
-	pop := 0
-	for pop < len(c.robLoads) && c.instrCount-c.robLoads[pop].index >= uint64(c.cfg.ROB) {
-		if c.robLoads[pop].done > cycle {
-			cycle = c.robLoads[pop].done
-		}
-		pop++
-	}
-	// LQ: bounded number of incomplete loads.
+	pop = 0
 	for len(c.robLoads)-pop >= c.cfg.LQ {
-		if c.robLoads[pop].done > cycle {
-			cycle = c.robLoads[pop].done
+		if d := c.robLoads[pop].done; d > cycle {
+			cycle = d
 		}
 		pop++
 	}
 	if pop > 0 {
-		n := copy(c.robLoads, c.robLoads[pop:])
+		n = copy(c.robLoads, c.robLoads[pop:])
 		c.robLoads = c.robLoads[:n]
 	}
 	return cycle
 }
 
-// drainMSHRs waits for an MSHR if all are busy and prunes completed entries.
+// drainMSHRs waits for an MSHR if all are busy. Completed entries are pruned
+// lazily, only when the raw count hits the limit — below it the gate cannot
+// bind whether or not stale entries linger, and pruning at the limit leaves
+// exactly the incomplete set an eager prune would, so wait cycles are
+// bit-identical.
 func (c *Core) drainMSHRs(cycle uint64) uint64 {
+	if len(c.mshrs) < c.cfg.L1MSHRs {
+		return cycle
+	}
 	keep := c.mshrs[:0]
 	for _, t := range c.mshrs {
 		if t > cycle {

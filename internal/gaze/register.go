@@ -10,7 +10,7 @@ import (
 func init() {
 	registry.MustRegister("gaze", func() registry.Scheme {
 		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
-			st := sim.Run(ctx.Sim, New(Default()), nil, nil, nil, ctx.Factory())
+			st := sim.RunOpts(ctx.Sim, ctx.Opts, New(Default()), nil, nil, nil, ctx.Factory())
 			return registry.Result{Stats: st}, nil
 		})
 	})

@@ -1,0 +1,106 @@
+package mem
+
+import "encoding/binary"
+
+// DefaultBlockRecords is the block size the simulator uses when consuming a
+// trace in batches. It matches the TraceReader's internal decode block so a
+// streamed trace file refills exactly once per simulated block.
+const DefaultBlockRecords = traceBlockRecords
+
+// BlockSource is an optional extension of Source for bulk consumption. A
+// BlockSource can hand the simulator whole runs of records at a time,
+// amortizing interface dispatch and bounds checks across a block.
+//
+// NextBlock returns up to len(buf) records, either decoded into buf or — for
+// in-memory sources — as a zero-copy view of backing storage. The returned
+// slice is only valid until the next NextBlock or Next call. An empty slice
+// means the stream is exhausted. Next and NextBlock may be interleaved
+// freely; both consume the same underlying position.
+type BlockSource interface {
+	Source
+	NextBlock(buf []Access) []Access
+}
+
+// FillBlock reads up to len(buf) records from src. Sources implementing
+// BlockSource serve the request natively (possibly zero-copy); any other
+// source is drained record-by-record into buf. The empty slice marks
+// exhaustion, exactly as for BlockSource.NextBlock.
+func FillBlock(src Source, buf []Access) []Access {
+	if bs, ok := src.(BlockSource); ok {
+		return bs.NextBlock(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		buf[n] = a
+		n++
+	}
+	return buf[:n]
+}
+
+// NextBlock implements BlockSource with a zero-copy view of the backing
+// slice; buf only bounds the block length.
+func (s *SliceSource) NextBlock(buf []Access) []Access {
+	n := len(s.recs) - s.pos
+	if n > len(buf) {
+		n = len(buf)
+	}
+	out := s.recs[s.pos : s.pos+n]
+	s.pos += n
+	return out
+}
+
+// NextBlock implements BlockSource, clamping the block to the remaining
+// record budget before delegating to the wrapped source.
+func (l *limited) NextBlock(buf []Access) []Access {
+	if l.left < uint64(len(buf)) {
+		buf = buf[:l.left]
+	}
+	out := FillBlock(l.src, buf)
+	l.left -= uint64(len(out))
+	return out
+}
+
+// NextBlock implements BlockSource, decoding up to len(buf) records straight
+// from the reader's block buffer. Short final blocks and zero-length traces
+// yield a short (or empty) slice, never an error by themselves; decode
+// failures are reported through Err as for Next.
+func (t *TraceReader) NextBlock(buf []Access) []Access {
+	n := 0
+	for n < len(buf) {
+		if t.err != nil || t.delivered >= t.count {
+			break
+		}
+		if t.pos >= len(t.block) {
+			if !t.refill() {
+				break
+			}
+		}
+		// Decode every whole record available in the current block, bounded
+		// by the caller's buffer.
+		avail := (len(t.block) - t.pos) / recordBytes
+		if rem := len(buf) - n; avail > rem {
+			avail = rem
+		}
+		if rem := t.count - t.delivered; uint64(avail) > rem {
+			avail = int(rem)
+		}
+		for i := 0; i < avail; i++ {
+			b := t.block[t.pos : t.pos+recordBytes]
+			t.pos += recordBytes
+			buf[n] = Access{
+				PC:   Addr(binary.LittleEndian.Uint64(b[0:])),
+				Addr: Addr(binary.LittleEndian.Uint64(b[8:])),
+				Kind: Kind(b[16]),
+				Dep:  binary.LittleEndian.Uint32(b[17:]),
+				Gap:  binary.LittleEndian.Uint16(b[21:]),
+			}
+			n++
+		}
+		t.delivered += uint64(avail)
+	}
+	return buf[:n]
+}

@@ -1,0 +1,126 @@
+package mem
+
+import "sync"
+
+// PrefetchSource overlaps trace decode with simulation: a single producer
+// goroutine pulls blocks from the wrapped source into recycled buffers while
+// the consumer simulates the previous block. Because there is exactly one
+// producer and blocks are handed over through an ordered channel, the record
+// sequence observed by the consumer is identical to draining the wrapped
+// source directly — the pipeline changes scheduling, never results.
+//
+// The consumer must call Stop when abandoning the stream early, or the
+// producer goroutine would block forever on the hand-over channel.
+type PrefetchSource struct {
+	blocks chan []Access
+	free   chan []Access
+	done   chan struct{}
+	block  int
+	stop   sync.Once
+
+	cur []Access // block currently being consumed
+	pos int      // records of cur already delivered
+}
+
+// Prefetch wraps src in an asynchronous block pipeline reading blocks of up
+// to block records, keeping at most depth blocks in flight. block and depth
+// are clamped to at least 1.
+func Prefetch(src Source, block, depth int) *PrefetchSource {
+	if block < 1 {
+		block = DefaultBlockRecords
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &PrefetchSource{
+		blocks: make(chan []Access, depth),
+		free:   make(chan []Access, depth+1),
+		done:   make(chan struct{}),
+		block:  block,
+	}
+	for i := 0; i < depth+1; i++ {
+		p.free <- make([]Access, block)
+	}
+	go p.produce(src)
+	return p
+}
+
+func (p *PrefetchSource) produce(src Source) {
+	defer close(p.blocks)
+	for {
+		var buf []Access
+		select {
+		case buf = <-p.free:
+		case <-p.done:
+			return
+		}
+		// Recycled buffers can be zero-copy views handed back by the
+		// consumer, whose capacity need not match the configured block
+		// size; clamp (or replace) so every block honours the bound.
+		if cap(buf) < p.block {
+			buf = make([]Access, p.block)
+		}
+		out := FillBlock(src, buf[:p.block])
+		if len(out) == 0 {
+			return
+		}
+		select {
+		case p.blocks <- out:
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// Stop terminates the producer goroutine. It is safe to call multiple times
+// and after exhaustion; a stopped source reports end-of-stream from then on.
+func (p *PrefetchSource) Stop() { p.stop.Do(func() { close(p.done) }) }
+
+// advance makes cur hold undelivered records, fetching the next block when
+// the current one is spent. It reports false at end of stream.
+func (p *PrefetchSource) advance() bool {
+	for p.pos >= len(p.cur) {
+		if p.cur != nil {
+			// Recycle the spent buffer. SliceSource hands out views of its
+			// own backing array rather than filling our buffer; those are
+			// not ours to recycle, but the free channel has spare capacity
+			// so the producer never starves either way.
+			select {
+			case p.free <- p.cur[:cap(p.cur)]:
+			default:
+			}
+			p.cur = nil
+		}
+		blk, ok := <-p.blocks
+		if !ok {
+			return false
+		}
+		p.cur, p.pos = blk, 0
+	}
+	return true
+}
+
+// Next implements Source.
+func (p *PrefetchSource) Next() (Access, bool) {
+	if !p.advance() {
+		return Access{}, false
+	}
+	a := p.cur[p.pos]
+	p.pos++
+	return a, true
+}
+
+// NextBlock implements BlockSource. The returned slice is a view of the
+// pipeline's current buffer, valid until the next NextBlock or Next call.
+func (p *PrefetchSource) NextBlock(buf []Access) []Access {
+	if !p.advance() {
+		return nil
+	}
+	n := len(p.cur) - p.pos
+	if n > len(buf) {
+		n = len(buf)
+	}
+	out := p.cur[p.pos : p.pos+n]
+	p.pos += n
+	return out
+}

@@ -155,7 +155,7 @@ func (e *Evaluator) Baseline(key string, factory SourceFactory) sim.Stats {
 	computed := false
 	entry.once.Do(func() {
 		computed = true
-		entry.stats = RunBaseline(e.cfg.Sim, factory())
+		entry.stats = sim.RunOpts(e.cfg.Sim, e.cfg.Run, nil, nil, nil, nil, factory())
 	})
 	if computed {
 		e.misses.Add(1)
@@ -201,6 +201,7 @@ func (e *Evaluator) Run(ctx context.Context, job Job) Outcome {
 	}
 	res, err := factory().Run(registry.Context{
 		Sim:         e.cfg.Sim,
+		Opts:        e.cfg.Run,
 		Factory:     registry.SourceFactory(job.Factory),
 		TuneRecords: job.TuneRecords,
 		Baseline:    func() sim.Stats { return e.Baseline(job.Key, job.Factory) },

@@ -63,7 +63,7 @@ type RPG2Result struct {
 // Deprecated: the flow lives in rpg2.Evaluate and runs through the scheme
 // registry; use an Evaluator with the "rpg2" scheme instead.
 func RunRPG2(cfg sim.Config, factory SourceFactory, tuneRecords uint64) RPG2Result {
-	res := rpg2.Evaluate(cfg, factory, tuneRecords, nil)
+	res := rpg2.Evaluate(cfg, sim.Opts{}, factory, tuneRecords, nil)
 	return RPG2Result{Stats: res.Stats, Kernels: res.Kernels, Distance: res.Distance}
 }
 
@@ -76,6 +76,10 @@ type Config struct {
 	Analysis analysis.Params
 	// L is the Equation 4 designer parameter.
 	L int
+	// Run shapes how simulation passes execute (block size, intra-run
+	// parallelism). Results are bit-identical for every value, so Run is
+	// excluded from result cache keys and store fingerprints.
+	Run sim.Opts
 }
 
 // Default returns the paper's evaluated pipeline configuration.
@@ -111,7 +115,8 @@ func (p *Prophet) Profile(src mem.Source) *pmu.Counters {
 	simplified.Degree = 1
 	simplified.Features = core.Features{}
 	engine := core.New(simplified, core.HintSet{}, nil)
-	sim.Run(p.cfg.Sim, engine, nil, counters, nil, src)
+	sim.RunOpts(p.cfg.Sim, p.cfg.Run, engine, nil, counters, nil, src)
+	engine.Release()
 	return counters
 }
 
@@ -126,10 +131,13 @@ func (p *Prophet) ProfileAndLearn(src mem.Source) {
 	p.Learn(p.Profile(src))
 }
 
-// Analyze executes Step 2: generate hints from the merged profile.
+// Analyze executes Step 2: generate hints from the merged profile. The
+// per-PC metadata scan shards across the run's derated intra-run worker
+// budget; the merge is deterministic, so the result is identical at every
+// width.
 func (p *Prophet) Analyze() analysis.Result {
 	if !p.fresh {
-		p.result = analysis.Analyze(p.profile, p.cfg.Analysis)
+		p.result = analysis.AnalyzeWith(p.profile, p.cfg.Analysis, sim.IntraRunWorkers(p.cfg.Run.Parallelism))
 		p.fresh = true
 	}
 	return p.result
@@ -154,7 +162,10 @@ func (p *Prophet) Run(src mem.Source) sim.Stats {
 
 // RunWithFeatures executes with a specific feature subset.
 func (p *Prophet) RunWithFeatures(features core.Features, src mem.Source) sim.Stats {
-	return sim.Run(p.cfg.Sim, p.Engine(features), nil, nil, nil, src)
+	engine := p.Engine(features)
+	st := sim.RunOpts(p.cfg.Sim, p.cfg.Run, engine, nil, nil, nil, src)
+	engine.Release()
+	return st
 }
 
 // RunProphetDirect is the common single-input flow: profile the input once,

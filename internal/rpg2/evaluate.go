@@ -27,16 +27,16 @@ func (o observer) OnDemandAccess(pc mem.Addr, line mem.Line, l1Hit, _ bool) {
 // qualifying kernels the scheme degenerates to the baseline, as on most SPEC
 // workloads — baseline may supply that run from a cache (nil = simulate it
 // here).
-func Evaluate(cfg sim.Config, factory func() mem.Source, tuneRecords uint64, baseline func() sim.Stats) EvalResult {
+func Evaluate(cfg sim.Config, opts sim.Opts, factory func() mem.Source, tuneRecords uint64, baseline func() sim.Stats) EvalResult {
 	prof := NewProfiler()
 	// Kernel identification profiles load misses the way PEBS counts
 	// retired-load misses: without the L1 prefetcher masking them.
 	profCfg := cfg
 	profCfg.L1PF = sim.L1None
-	sim.Run(profCfg, nil, nil, nil, observer{prof}, factory())
+	sim.RunOpts(profCfg, opts, nil, nil, nil, observer{prof}, factory())
 	kernels := prof.Kernels(DefaultProfileParams())
 	if baseline == nil {
-		baseline = func() sim.Stats { return sim.Run(cfg, nil, nil, nil, nil, factory()) }
+		baseline = func() sim.Stats { return sim.RunOpts(cfg, opts, nil, nil, nil, nil, factory()) }
 	}
 	if len(kernels) == 0 {
 		return EvalResult{Stats: baseline(), Kernels: 0, Distance: 0}
@@ -50,7 +50,7 @@ func Evaluate(cfg sim.Config, factory func() mem.Source, tuneRecords uint64, bas
 	}
 	var bestIPC float64
 	best := TuneDistance(32, func(d int) float64 {
-		ipc := sim.Run(cfg, nil, NewPrefetcher(kernels, d), nil, nil, tuneSrc()).IPC()
+		ipc := sim.RunOpts(cfg, opts, nil, NewPrefetcher(kernels, d), nil, nil, tuneSrc()).IPC()
 		if ipc > bestIPC {
 			bestIPC = ipc
 		}
@@ -59,9 +59,9 @@ func Evaluate(cfg sim.Config, factory func() mem.Source, tuneRecords uint64, bas
 	// RPG2 is *robust*: prefetches that do not pay off are rolled back at
 	// runtime. If the tuned configuration loses to the plain baseline on
 	// the tuning trace, the kernels are dropped.
-	if baseTune := sim.Run(cfg, nil, nil, nil, nil, tuneSrc()).IPC(); bestIPC <= baseTune {
+	if baseTune := sim.RunOpts(cfg, opts, nil, nil, nil, nil, tuneSrc()).IPC(); bestIPC <= baseTune {
 		return EvalResult{Stats: baseline(), Kernels: len(kernels), Distance: 0}
 	}
-	st := sim.Run(cfg, nil, NewPrefetcher(kernels, best), nil, nil, factory())
+	st := sim.RunOpts(cfg, opts, nil, NewPrefetcher(kernels, best), nil, nil, factory())
 	return EvalResult{Stats: st, Kernels: len(kernels), Distance: best}
 }

@@ -1,0 +1,67 @@
+// Package difftest is the differential equivalence harness behind the
+// block-batched hot loop. The simulator's contract is that sim.Opts shapes
+// HOW a run executes — block granularity, decode-ahead, intra-run worker
+// count — and never WHAT it computes: Stats must be bit-identical to the
+// record-at-a-time sequential reference at every block size and worker
+// count. This package replays the golden-corpus cells and generated
+// workloads through a matrix of execution shapes and diffs the full Stats
+// structs field by field; a single diverging counter fails the build.
+//
+// CI drives the full matrix explicitly:
+//
+//	go test ./internal/sim/difftest -difftest.blocks=1,64,4096 -difftest.workers=1,4
+package difftest
+
+import (
+	"fmt"
+	"reflect"
+
+	"prophet/internal/sim"
+)
+
+// Sequential is the reference execution shape: the record-at-a-time loop
+// every other shape must reproduce bit for bit.
+var Sequential = Variant{Name: "sequential", Opts: sim.Opts{BlockRecords: -1}}
+
+// Variant names one execution shape of the hot loop.
+type Variant struct {
+	Name string
+	Opts sim.Opts
+}
+
+// Matrix builds the cross product of block sizes and worker counts as named
+// variants. A worker count of 1 exercises the block loop alone; higher
+// counts add decode-ahead and the sharded scratch reset.
+func Matrix(blocks, workers []int) []Variant {
+	var out []Variant
+	for _, b := range blocks {
+		for _, w := range workers {
+			out = append(out, Variant{
+				Name: fmt.Sprintf("block=%d/workers=%d", b, w),
+				Opts: sim.Opts{BlockRecords: b, Parallelism: w},
+			})
+		}
+	}
+	return out
+}
+
+// Diff reports the field paths at which two Stats differ, with both values
+// (nil means bit-identical). The walk descends nested structs so a failure
+// names the exact counter that diverged, not just "stats differ".
+func Diff(a, b sim.Stats) []string {
+	var out []string
+	diffValue("Stats", reflect.ValueOf(a), reflect.ValueOf(b), &out)
+	return out
+}
+
+func diffValue(path string, a, b reflect.Value, out *[]string) {
+	if a.Kind() == reflect.Struct {
+		for i := 0; i < a.NumField(); i++ {
+			diffValue(path+"."+a.Type().Field(i).Name, a.Field(i), b.Field(i), out)
+		}
+		return
+	}
+	if !a.Equal(b) {
+		*out = append(*out, fmt.Sprintf("%s: %v != %v", path, a, b))
+	}
+}

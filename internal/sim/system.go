@@ -135,11 +135,17 @@ func (s *System) Access(a mem.Access, now uint64) (ready uint64, l1Miss bool) {
 		}
 	}
 
-	res := s.l1.Access(line, now, write)
+	// Fused L1 scan: the demand access also records the fill slot. The slot
+	// survives unless an L1 prefetch fills the set in the meantime, which
+	// l1Prefetch reports.
+	res, slot := s.l1.AccessFill(line, now, write)
+	l1Touched := false
 
 	// Train the L1 prefetcher on the demand stream.
 	for _, pl := range s.l1pf.OnAccess(a.PC, line, res.Hit) {
-		s.l1Prefetch(pl, a.PC, now)
+		if s.l1Prefetch(pl, a.PC, now) {
+			l1Touched = true
+		}
 	}
 
 	if res.Hit {
@@ -158,8 +164,15 @@ func (s *System) Access(a mem.Access, now uint64) (ready uint64, l1Miss bool) {
 	if s.observer != nil {
 		s.observer.OnDemandAccess(a.PC, line, false, l2Hit)
 	}
-	// Fill L1; dirty victims write back into the L2.
-	if ev := s.l1.Insert(line, now, fillReady, write, false, 0); ev.Valid && ev.Dirty {
+	// Fill L1; dirty victims write back into the L2. The fused slot applies
+	// unless an L1 prefetch touched the cache since the access scan.
+	var ev cache.Eviction
+	if l1Touched {
+		ev = s.l1.Insert(line, now, fillReady, write, false, 0)
+	} else {
+		ev = s.l1.Fill(slot, line, fillReady, write, false, 0)
+	}
+	if ev.Valid && ev.Dirty {
 		s.writebackToL2(ev.Line, now)
 	}
 	return fillReady, true
@@ -168,7 +181,11 @@ func (s *System) Access(a mem.Access, now uint64) (ready uint64, l1Miss bool) {
 // demandFromL2 services a demand L2 access, returning the data-ready cycle.
 func (s *System) demandFromL2(pc mem.Addr, line mem.Line, t uint64) (ready uint64, hit bool) {
 	s.st.L2DemandAccesses++
-	res := s.l2.Access(line, t, false)
+	// Fused L2 scan: the demand access also records the fill slot. Between
+	// it and the fill only engine prefetches can touch the L2, so the slot
+	// stays valid exactly when the engine issued none.
+	res, slot := s.l2.AccessFill(line, t, false)
+	l2Touched := false
 
 	// Prefetch-outcome feedback: first demand touch of a prefetched line.
 	if res.WasPrefetch {
@@ -189,6 +206,7 @@ func (s *System) demandFromL2(pc mem.Addr, line mem.Line, t uint64) (ready uint6
 			Cycle: t,
 		})
 		for _, tl := range targets {
+			l2Touched = true
 			s.prefetchIntoL2(tl, pc, t)
 		}
 		s.syncMetaWays(t)
@@ -207,13 +225,20 @@ func (s *System) demandFromL2(pc mem.Addr, line mem.Line, t uint64) (ready uint6
 		s.counters.RecordL2Miss(pc)
 	}
 	fillReady := s.fetchFromL3(line, t+s.cfg.L2.HitLatency)
-	s.fillL2(line, t, fillReady, false, false, 0)
+	if l2Touched {
+		s.fillL2(line, t, fillReady, false, false, 0)
+	} else {
+		s.fillL2Slot(slot, line, t, fillReady, false, 0)
+	}
 	return fillReady, false
 }
 
 // fetchFromL3 reads a line from the L3 or DRAM, filling the L3 on a miss.
+// The access and the miss fill share one tag scan (cache.AccessFill): the
+// LLC is the only level where nothing can touch the cache between the miss
+// and its fill, so the fused path is bit-identical to Access+Insert.
 func (s *System) fetchFromL3(line mem.Line, t uint64) (ready uint64) {
-	res := s.l3.Access(line, t, false)
+	res, slot := s.l3.AccessFill(line, t, false)
 	if res.Hit {
 		r := t + s.cfg.L3.HitLatency
 		if res.Ready > r {
@@ -222,7 +247,7 @@ func (s *System) fetchFromL3(line mem.Line, t uint64) (ready uint64) {
 		return r
 	}
 	done := s.dram.Read(line, t+s.cfg.L3.HitLatency)
-	if ev := s.l3.Insert(line, t, done, false, false, 0); ev.Valid && ev.Dirty {
+	if ev := s.l3.Fill(slot, line, done, false, false, 0); ev.Valid && ev.Dirty {
 		s.dram.Write(ev.Line, t)
 	}
 	return done
@@ -231,7 +256,18 @@ func (s *System) fetchFromL3(line mem.Line, t uint64) (ready uint64) {
 // fillL2 inserts a line into the L2, handling victim writeback and
 // prefetch-usefulness accounting for displaced prefetched lines.
 func (s *System) fillL2(line mem.Line, now, ready uint64, dirty, isPrefetch bool, trigger mem.Addr) {
-	ev := s.l2.Insert(line, now, ready, dirty, isPrefetch, trigger)
+	s.l2Evicted(s.l2.Insert(line, now, ready, dirty, isPrefetch, trigger), now)
+}
+
+// fillL2Slot is fillL2 completing a miss recorded by an earlier fused L2
+// scan (AccessFill/LookupFill), skipping the second tag scan.
+func (s *System) fillL2Slot(slot cache.FillSlot, line mem.Line, now, ready uint64, isPrefetch bool, trigger mem.Addr) {
+	s.l2Evicted(s.l2.Fill(slot, line, ready, false, isPrefetch, trigger), now)
+}
+
+// l2Evicted handles an L2 victim: writeback and prefetch-usefulness
+// accounting for displaced prefetched lines.
+func (s *System) l2Evicted(ev cache.Eviction, now uint64) {
 	if !ev.Valid {
 		return
 	}
@@ -246,21 +282,24 @@ func (s *System) fillL2(line mem.Line, now, ready uint64, dirty, isPrefetch bool
 	}
 }
 
-// writebackToL2 handles a dirty L1 eviction. MarkDirty fuses the hit check
-// and the dirty-marking access into one tag scan.
+// writebackToL2 handles a dirty L1 eviction. MarkDirtyFill fuses the hit
+// check, the dirty-marking access, and the miss-path fill scan into one tag
+// pass; nothing touches the L2 between the scan and the fill.
 func (s *System) writebackToL2(line mem.Line, now uint64) {
-	if s.l2.MarkDirty(line, now) {
+	handled, slot := s.l2.MarkDirtyFill(line, now)
+	if handled {
 		return
 	}
-	s.fillL2(line, now, now, true, false, 0)
+	s.l2Evicted(s.l2.Fill(slot, line, now, true, false, 0), now)
 }
 
 // writebackToL3 handles a dirty L2 eviction.
 func (s *System) writebackToL3(line mem.Line, now uint64) {
-	if s.l3.MarkDirty(line, now) {
+	handled, slot := s.l3.MarkDirtyFill(line, now)
+	if handled {
 		return
 	}
-	if ev := s.l3.Insert(line, now, now, true, false, 0); ev.Valid && ev.Dirty {
+	if ev := s.l3.Fill(slot, line, now, true, false, 0); ev.Valid && ev.Dirty {
 		s.dram.Write(ev.Line, now)
 	}
 }
@@ -268,7 +307,10 @@ func (s *System) writebackToL3(line mem.Line, now uint64) {
 // prefetchIntoL2 issues a temporal or software prefetch. Prefetches do not
 // stall the core; their fills arrive asynchronously at the computed cycle.
 func (s *System) prefetchIntoL2(line mem.Line, trigger mem.Addr, now uint64) {
-	if _, hit := s.l2.Lookup(line); hit {
+	// One fused scan covers the presence probe and the fill: between them
+	// only the L3/DRAM are touched, so the slot stays valid.
+	_, hit, slot := s.l2.LookupFill(line)
+	if hit {
 		return
 	}
 	s.st.TPIssued++
@@ -276,18 +318,21 @@ func (s *System) prefetchIntoL2(line mem.Line, trigger mem.Addr, now uint64) {
 		s.counters.RecordIssue(trigger)
 	}
 	ready := s.fetchFromL3(line, now)
-	s.fillL2(line, now, ready, false, true, trigger)
+	s.fillL2Slot(slot, line, now, ready, true, trigger)
 }
 
 // l1Prefetch issues an L1 prefetcher fill, pulling the line through the
 // hierarchy without core involvement. The L2 access it causes feeds the
-// temporal prefetcher's training stream (Section 5.1).
-func (s *System) l1Prefetch(line mem.Line, trigger mem.Addr, now uint64) {
+// temporal prefetcher's training stream (Section 5.1). It reports whether
+// it modified the L1 (callers holding a fused L1 fill slot must rescan).
+func (s *System) l1Prefetch(line mem.Line, trigger mem.Addr, now uint64) bool {
 	if _, hit := s.l1.Lookup(line); hit {
-		return
+		return false
 	}
 	s.st.L1PFIssued++
-	res := s.l2.Access(line, now, false)
+	// Fused L2 scan: on a miss, only fetchFromL3 runs before the fill, so
+	// the slot from the access scan stays valid.
+	res, slot := s.l2.AccessFill(line, now, false)
 	if res.WasPrefetch {
 		// An L1 prefetch touching a TP-prefetched L2 line counts as
 		// useful: the data was needed earlier in the hierarchy.
@@ -307,7 +352,7 @@ func (s *System) l1Prefetch(line mem.Line, trigger mem.Addr, now uint64) {
 		}
 	} else {
 		ready = s.fetchFromL3(line, now+s.cfg.L2.HitLatency)
-		s.fillL2(line, now, ready, false, false, 0)
+		s.fillL2Slot(slot, line, now, ready, false, 0)
 	}
 	// The temporal prefetcher trains on L1-prefetch L2 traffic too.
 	if s.engine != nil {
@@ -324,6 +369,7 @@ func (s *System) l1Prefetch(line mem.Line, trigger mem.Addr, now uint64) {
 	if ev := s.l1.Insert(line, now, ready, false, true, trigger); ev.Valid && ev.Dirty {
 		s.writebackToL2(ev.Line, now)
 	}
+	return true
 }
 
 // Stats snapshots the run counters (call after the core finishes).
@@ -341,74 +387,76 @@ func (s *System) Stats(coreStats cpu.Stats) Stats {
 	return st
 }
 
-// reset restores a pooled System to its just-constructed state for cfg-
-// identical reuse: caches, DRAM and counters cleared, a fresh L1 prefetcher,
-// and the new run's attachments installed. A reset system is
-// indistinguishable from New's output — runs stay deterministic whether
-// their scratch state came from the pool or the allocator.
-func (s *System) reset(engine temporal.Engine, sw SWPrefetcher, counters *pmu.Counters, observer DemandObserver) {
-	s.l1.Reset()
-	s.l2.Reset()
-	s.l3.Reset()
-	s.dram.Reset()
-	s.l1pf = s.cfg.newL1Prefetcher()
-	s.engine = engine
-	s.sw = sw
-	s.counters = counters
-	s.observer = observer
-	s.st = Stats{}
-	s.syncMetaWays(0)
-}
-
 // scratch bundles the large per-run structures Run recycles: the cache
-// hierarchy's tag arrays (megabytes per system) and the core's dependence
-// ring. Pooling them removes the dominant per-run allocations from sweeps —
-// an Evaluator fanning hundreds of short simulations over a worker pool
-// constructs each system once per worker instead of once per run.
+// hierarchy's tag arrays (megabytes per system), the core's dependence
+// ring, and the record-block buffer. Pooling them removes the dominant
+// per-run allocations from sweeps — an Evaluator fanning hundreds of short
+// simulations over a worker pool constructs each system once per worker
+// instead of once per run.
 type scratch struct {
 	sys  *System
 	core *cpu.Core
+	buf  []mem.Access // block buffer, sized to the run's BlockRecords
 }
 
-// scratchPools maps a Config to its *sync.Pool of scratch systems. Pools are
-// per-configuration because a System's geometry is fixed at construction.
-var scratchPools sync.Map
+// scratchPools maps a runKey — Config plus normalized run Opts — to its
+// *sync.Pool of scratch systems. Pools are per-configuration because a
+// System's geometry is fixed at construction, and per-Opts because scratch
+// shape (block buffer size, sharded-reset discipline) follows the run
+// shape: an entry prepared for a sharded run must never serve a sequential
+// one, and vice versa. A typed map behind an RWMutex (rather than a
+// sync.Map) keeps the per-run lookup allocation-free: interface conversion
+// of the large runKey struct would box it on every Run.
+var (
+	scratchMu    sync.RWMutex
+	scratchPools = map[runKey]*sync.Pool{}
+)
 
-func getScratch(cfg Config, engine temporal.Engine, sw SWPrefetcher, counters *pmu.Counters, observer DemandObserver) *scratch {
-	pi, _ := scratchPools.LoadOrStore(cfg, &sync.Pool{})
-	if v := pi.(*sync.Pool).Get(); v != nil {
+func poolFor(key runKey) *sync.Pool {
+	scratchMu.RLock()
+	p := scratchPools[key]
+	scratchMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	scratchMu.Lock()
+	defer scratchMu.Unlock()
+	if p = scratchPools[key]; p == nil {
+		p = &sync.Pool{}
+		scratchPools[key] = p
+	}
+	return p
+}
+
+func getScratch(key runKey, engine temporal.Engine, sw SWPrefetcher, counters *pmu.Counters, observer DemandObserver, par int) *scratch {
+	if v := poolFor(key).Get(); v != nil {
 		sc := v.(*scratch)
-		sc.sys.reset(engine, sw, counters, observer)
-		sc.core.Reset(sc.sys)
+		sc.reset(engine, sw, counters, observer, par)
 		return sc
 	}
-	sys := New(cfg, engine, sw, counters, observer)
-	return &scratch{sys: sys, core: cpu.New(cfg.Core, sys)}
+	sys := New(key.cfg, engine, sw, counters, observer)
+	sc := &scratch{sys: sys, core: cpu.New(key.cfg.Core, sys)}
+	if key.opts.BlockRecords > 0 {
+		sc.buf = make([]mem.Access, key.opts.BlockRecords)
+	}
+	return sc
 }
 
-func putScratch(cfg Config, sc *scratch) {
+func putScratch(key runKey, sc *scratch) {
 	// Drop the run's attachments so the pool does not pin engine metadata
 	// (tables, compressors) beyond the run's lifetime.
 	sc.sys.engine = nil
 	sc.sys.sw = nil
 	sc.sys.counters = nil
 	sc.sys.observer = nil
-	if pi, ok := scratchPools.Load(cfg); ok {
-		pi.(*sync.Pool).Put(sc)
-	}
+	poolFor(key).Put(sc)
 }
 
 // Run executes a full trace on a fresh core and returns the statistics. If
 // counters were attached, the metadata-table counters are published to them.
 // The system and core scratch state come from a per-configuration pool.
+// Run uses default Opts (block-batched, synchronous); RunOpts exposes the
+// execution-shaping knobs.
 func Run(cfg Config, engine temporal.Engine, sw SWPrefetcher, counters *pmu.Counters, observer DemandObserver, src mem.Source) Stats {
-	sc := getScratch(cfg, engine, sw, counters, observer)
-	coreStats := sc.core.Run(src)
-	st := sc.sys.Stats(coreStats)
-	if counters != nil && engine != nil {
-		ts := engine.TableStats()
-		counters.SetTableCounters(ts.Insertions, ts.Replacements)
-	}
-	putScratch(cfg, sc)
-	return st
+	return RunOpts(cfg, Opts{}, engine, sw, counters, observer, src)
 }

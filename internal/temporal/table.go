@@ -3,6 +3,7 @@ package temporal
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Policy selects the metadata-table replacement policy.
@@ -74,7 +75,12 @@ type Entry struct {
 	Priority uint8 // Prophet replacement state (2 bits)
 	valid    bool
 	rrpv     uint8
-	last     uint64
+	// last is the recency stamp for LRU victim choice, truncated to 32
+	// bits so Entry packs into 16 bytes (1.5x the scan density of the
+	// 24-byte layout). Comparisons are only meaningful among live entries
+	// of one set, and only the MetaLRU policy consults them; a table would
+	// need 2^32 touches before wraparound could reorder a set.
+	last uint32
 }
 
 // Evicted describes a metadata entry displaced from the table.
@@ -137,8 +143,40 @@ type Table struct {
 // bits, so bit 15 is free; a zero tags word can never match a probe.
 const tagLiveBit = 1 << 15
 
-// NewTable builds a table with the given initial ways. It panics on invalid
-// geometry (static configuration error).
+// tablePools recycles whole tables per geometry across runs. At the Table 1
+// geometry the entry array alone is multi-megabyte, and every engine
+// constructor allocates (and the runtime zeroes) a fresh one per simulation
+// — a measurable slice of short-run CPU time. Recycling is sound without
+// touching that array: every read of entries/tags is bounded by count[set],
+// and a slot becomes live only through a full overwrite, so clearing the
+// small per-set count array alone restores the fresh-table contract.
+var tablePools struct {
+	sync.RWMutex
+	m map[TableConfig]*sync.Pool
+}
+
+func tablePool(cfg TableConfig) *sync.Pool {
+	tablePools.RLock()
+	p := tablePools.m[cfg]
+	tablePools.RUnlock()
+	if p != nil {
+		return p
+	}
+	tablePools.Lock()
+	defer tablePools.Unlock()
+	if tablePools.m == nil {
+		tablePools.m = map[TableConfig]*sync.Pool{}
+	}
+	if p = tablePools.m[cfg]; p == nil {
+		p = &sync.Pool{}
+		tablePools.m[cfg] = p
+	}
+	return p
+}
+
+// NewTable builds a table with the given initial ways, recycling the storage
+// of a previously Released table of the same geometry when one is available.
+// It panics on invalid geometry (static configuration error).
 func NewTable(cfg TableConfig, ways int) *Table {
 	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
 		panic("temporal: table sets must be a positive power of two")
@@ -151,6 +189,10 @@ func NewTable(cfg TableConfig, ways int) *Table {
 	}
 	if ways > cfg.MaxWays {
 		ways = cfg.MaxWays
+	}
+	if t, _ := tablePool(cfg).Get().(*Table); t != nil {
+		t.recycle(ways)
+		return t
 	}
 	maxPerSet := cfg.MaxWays * cfg.EntriesPerWay
 	t := &Table{
@@ -166,6 +208,32 @@ func NewTable(cfg TableConfig, ways int) *Table {
 		t.hawkeye = newHawkeyeState()
 	}
 	return t
+}
+
+// recycle restores a pooled table to the observable state of a fresh
+// NewTable(cfg, ways). The entries and tags arrays stay dirty on purpose:
+// no code path reads a slot at index >= count[set] within a set's window,
+// and slots enter the live window only via a full Entry+tag write, so stale
+// contents are unobservable. ways has already been clamped by NewTable.
+func (t *Table) recycle(ways int) {
+	t.ways = ways
+	clear(t.count)
+	t.clock = 0
+	t.stats = TableStats{}
+	if t.hawkeye != nil {
+		clear(t.hawkeye.ghosts)
+	}
+}
+
+// Release returns the table to its geometry's pool so a future NewTable can
+// reuse the backing arrays instead of allocating afresh. The caller must not
+// touch the table afterwards. Releasing is optional — an unreleased table is
+// ordinary garbage — so only per-run engine teardown bothers.
+func (t *Table) Release() {
+	if t == nil {
+		return
+	}
+	tablePool(t.cfg).Put(t)
 }
 
 // setSlice returns the live entries of one set (the window prefix).
@@ -215,7 +283,7 @@ func (t *Table) Lookup(src uint32) (target uint32, ok bool) {
 		t.stats.Hits++
 		t.clock++
 		e.rrpv = 0
-		e.last = t.clock
+		e.last = uint32(t.clock)
 		return e.Target, true
 	}
 	return 0, false
@@ -261,10 +329,24 @@ func (t *Table) Insert(src, target uint32, priority uint8) Evicted {
 	set, tag := t.locate(src)
 	base := set * t.maxPerSet
 	t.clock++
+	// One scan over the tags accelerator finds an existing entry AND
+	// remembers the first free slot for the miss path, fusing what used to
+	// be two passes (findSlot, then a free-slot scan) into one.
+	want := tag | tagLiveBit
+	match, free := -1, -1
+	for i, tg := range t.tags[base : base+int(t.count[set])] {
+		if tg == want {
+			match = i
+			break
+		}
+		if tg&tagLiveBit == 0 && free < 0 {
+			free = i
+		}
+	}
 	// Existing entry: update target in place, reporting the displaced
 	// target if it changed.
-	if i := t.findSlot(set, tag); i >= 0 {
-		e := &t.entries[base+i]
+	if match >= 0 {
+		e := &t.entries[base+match]
 		ev := Evicted{}
 		if e.Target != target {
 			ev = Evicted{Set: set, Tag: e.Tag, Target: e.Target, Priority: e.Priority, Valid: true}
@@ -272,7 +354,7 @@ func (t *Table) Insert(src, target uint32, priority uint8) Evicted {
 		e.Target = target
 		e.Priority = priority
 		e.rrpv = 0
-		e.last = t.clock
+		e.last = uint32(t.clock)
 		t.stats.Updates++
 		return ev
 	}
@@ -288,18 +370,16 @@ func (t *Table) Insert(src, target uint32, priority uint8) Evicted {
 			insertRRPV = srripMaxRRPV
 		}
 	}
-	// Free slot? (Scanned through the tags accelerator; live slots ahead
-	// of count only lose their tag bit transiently inside Resize, which
-	// compacts before returning, so a zero word here is authoritative.)
-	for i, tg := range t.tags[base : base+len(entries)] {
-		if tg&tagLiveBit == 0 {
-			entries[i] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: t.clock}
-			t.tags[base+i] = tag | tagLiveBit
-			return Evicted{}
-		}
+	// Free slot, remembered by the fused scan above. (Live slots ahead of
+	// count only lose their tag bit transiently inside Resize, which
+	// compacts before returning, so a zero word there is authoritative.)
+	if free >= 0 {
+		entries[free] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: uint32(t.clock)}
+		t.tags[base+free] = tag | tagLiveBit
+		return Evicted{}
 	}
 	if len(entries) < capPerSet {
-		t.entries[base+len(entries)] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: t.clock}
+		t.entries[base+len(entries)] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: uint32(t.clock)}
 		t.tags[base+len(entries)] = tag | tagLiveBit
 		t.count[set]++
 		return Evicted{}
@@ -310,7 +390,7 @@ func (t *Table) Insert(src, target uint32, priority uint8) Evicted {
 	if t.hawkeye != nil {
 		t.hawkeye.observeEviction(set, entries[vi].Tag)
 	}
-	entries[vi] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: t.clock}
+	entries[vi] = Entry{Tag: tag, Target: target, Priority: priority, valid: true, rrpv: insertRRPV, last: uint32(t.clock)}
 	t.tags[base+vi] = tag | tagLiveBit
 	t.stats.Replacements++
 	return ev

@@ -10,7 +10,9 @@ import (
 func init() {
 	registry.MustRegister("triage", func() registry.Scheme {
 		return registry.Func(func(ctx registry.Context) (registry.Result, error) {
-			st := sim.Run(ctx.Sim, New(Default()), nil, nil, nil, ctx.Factory())
+			e := New(Default())
+			st := sim.RunOpts(ctx.Sim, ctx.Opts, e, nil, nil, nil, ctx.Factory())
+			e.Release()
 			return registry.Result{Stats: st}, nil
 		})
 	})

@@ -143,6 +143,10 @@ func (p *Prefetcher) TableStats() temporal.TableStats { return p.table.Stats() }
 // Table exposes the metadata table for tests and histogram extraction.
 func (p *Prefetcher) Table() *temporal.Table { return p.table }
 
+// Release returns the metadata table's storage to the geometry pool. The
+// prefetcher (and anything obtained through Table) must not be used after.
+func (p *Prefetcher) Release() { p.table.Release() }
+
 // Compressor exposes the address compressor for measurement tooling.
 func (p *Prefetcher) Compressor() *temporal.Compressor { return p.comp }
 

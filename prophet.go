@@ -537,4 +537,6 @@ const (
 	Triangel Scheme = "triangel"
 	RPG2     Scheme = "rpg2"
 	Prophet  Scheme = "prophet"
+	Gaze     Scheme = "gaze"
+	Adaptive Scheme = "adaptive"
 )

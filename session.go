@@ -100,7 +100,7 @@ func (s *Session) Run(ctx context.Context, b Binary, w Workload) (RunStats, erro
 	cfg := s.e.eng.Config()
 	base := s.e.eng.Baseline(w.key(), f)
 	engine := core.New(cfg.Prophet, b.hints, b.weights)
-	st := sim.Run(cfg.Sim, engine, nil, nil, nil, f())
+	st := sim.RunOpts(cfg.Sim, cfg.Run, engine, nil, nil, nil, f())
 	return summarize(st, base), nil
 }
 
@@ -135,7 +135,7 @@ func (s *Session) RunOnline(ctx context.Context, w Workload) (OnlineStats, error
 	cfg := s.e.eng.Config()
 	base := s.e.eng.Baseline(w.key(), f)
 	wr := adaptive.New(adaptive.Default())
-	st := sim.Run(cfg.Sim, wr, nil, nil, nil, f())
+	st := sim.RunOpts(cfg.Sim, cfg.Run, wr, nil, nil, nil, f())
 	return OnlineStats{
 		RunStats: summarize(st, base),
 		Switches: wr.Switches(),
